@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig10 of the paper via its experiment harness."""
+
+
+def test_fig10(regenerate):
+    result = regenerate("fig10", quick=True)
+    assert result.experiment_id == "fig10"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig11 of the paper via its experiment harness."""
+
+
+def test_fig11(regenerate):
+    result = regenerate("fig11", quick=False)
+    assert result.experiment_id == "fig11"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig12 of the paper via its experiment harness."""
+
+
+def test_fig12(regenerate):
+    result = regenerate("fig12", quick=False)
+    assert result.experiment_id == "fig12"

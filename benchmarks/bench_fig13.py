@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig13 of the paper via its experiment harness."""
+
+
+def test_fig13(regenerate):
+    result = regenerate("fig13", quick=True)
+    assert result.experiment_id == "fig13"

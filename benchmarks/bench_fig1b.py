@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig1b of the paper via its experiment harness."""
+
+
+def test_fig1b(regenerate):
+    result = regenerate("fig1b", quick=False)
+    assert result.experiment_id == "fig1b"

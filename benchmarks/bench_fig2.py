@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig2 of the paper via its experiment harness."""
+
+
+def test_fig2(regenerate):
+    result = regenerate("fig2", quick=False)
+    assert result.experiment_id == "fig2"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig3 of the paper via its experiment harness."""
+
+
+def test_fig3(regenerate):
+    result = regenerate("fig3", quick=False)
+    assert result.experiment_id == "fig3"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig8a of the paper via its experiment harness."""
+
+
+def test_fig8a(regenerate):
+    result = regenerate("fig8a", quick=False)
+    assert result.experiment_id == "fig8a"

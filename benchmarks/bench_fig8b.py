@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig8b of the paper via its experiment harness."""
+
+
+def test_fig8b(regenerate):
+    result = regenerate("fig8b", quick=True)
+    assert result.experiment_id == "fig8b"

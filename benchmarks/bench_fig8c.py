@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig8c of the paper via its experiment harness."""
+
+
+def test_fig8c(regenerate):
+    result = regenerate("fig8c", quick=True)
+    assert result.experiment_id == "fig8c"

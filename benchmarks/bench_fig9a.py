@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig9a of the paper via its experiment harness."""
+
+
+def test_fig9a(regenerate):
+    result = regenerate("fig9a", quick=False)
+    assert result.experiment_id == "fig9a"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig9b of the paper via its experiment harness."""
+
+
+def test_fig9b(regenerate):
+    result = regenerate("fig9b", quick=True)
+    assert result.experiment_id == "fig9b"

@@ -1,0 +1,6 @@
+"""Benchmark regenerating fig9c of the paper via its experiment harness."""
+
+
+def test_fig9c(regenerate):
+    result = regenerate("fig9c", quick=True)
+    assert result.experiment_id == "fig9c"

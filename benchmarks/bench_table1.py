@@ -1,0 +1,6 @@
+"""Benchmark regenerating table1 of the paper via its experiment harness."""
+
+
+def test_table1(regenerate):
+    result = regenerate("table1", quick=False)
+    assert result.experiment_id == "table1"

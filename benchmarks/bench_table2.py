@@ -1,0 +1,6 @@
+"""Benchmark regenerating table2 of the paper via its experiment harness."""
+
+
+def test_table2(regenerate):
+    result = regenerate("table2", quick=True)
+    assert result.experiment_id == "table2"

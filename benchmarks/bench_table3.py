@@ -1,0 +1,6 @@
+"""Benchmark regenerating table3 of the paper via its experiment harness."""
+
+
+def test_table3(regenerate):
+    result = regenerate("table3", quick=True)
+    assert result.experiment_id == "table3"

@@ -1,0 +1,29 @@
+"""Shared helper for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through its
+experiment harness, times it with pytest-benchmark, and prints the resulting
+rows so the run's output doubles as the reproduced artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment exactly once under the benchmark timer and print it."""
+
+    def _run(experiment_id: str, **kwargs) -> ExperimentResult:
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.to_text())
+        assert result.rows
+        return result
+
+    return _run

@@ -1,0 +1,51 @@
+"""Baseline GPU memory allocators.
+
+These are the systems STAlloc is compared against in the paper's evaluation:
+
+* :class:`~repro.allocators.native.NativeAllocator` -- every request goes
+  straight to the device (``cudaMalloc``/``cudaFree``).  Used by the
+  Allocation Profiler, and as the "no fragmentation" reference.
+* :class:`~repro.allocators.caching.CachingAllocator` -- a re-implementation
+  of PyTorch's CUDA caching allocator (best-fit with block split/merge,
+  small/large pools, 512-byte rounding, empty-cache-on-OOM), with ``Torch
+  2.0`` and ``Torch 2.3`` presets.
+* :class:`~repro.allocators.expandable.ExpandableSegmentsAllocator` --
+  PyTorch's ``expandable_segments:True`` mode built on the virtual-memory API.
+* :class:`~repro.allocators.gmlake.GMLakeAllocator` -- GMLake-style virtual
+  memory stitching on top of the caching allocator, with a configurable
+  ``frag_limit``.
+
+All allocators implement the :class:`~repro.allocators.base.Allocator`
+interface so the replay simulator and the experiments can treat them
+uniformly.
+"""
+
+from repro.allocators.base import AllocationHints, Allocator, AllocatorStats, Placement
+from repro.allocators.caching import (
+    CachingAllocator,
+    CachingAllocatorConfig,
+    torch20_config,
+    torch23_config,
+)
+from repro.allocators.expandable import ExpandableSegmentsAllocator, ExpandableSegmentsConfig
+from repro.allocators.gmlake import GMLakeAllocator, GMLakeConfig
+from repro.allocators.native import NativeAllocator
+from repro.allocators.registry import available_allocators, create_allocator
+
+__all__ = [
+    "Allocator",
+    "AllocatorStats",
+    "AllocationHints",
+    "Placement",
+    "CachingAllocator",
+    "CachingAllocatorConfig",
+    "torch20_config",
+    "torch23_config",
+    "ExpandableSegmentsAllocator",
+    "ExpandableSegmentsConfig",
+    "GMLakeAllocator",
+    "GMLakeConfig",
+    "NativeAllocator",
+    "available_allocators",
+    "create_allocator",
+]

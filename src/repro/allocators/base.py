@@ -1,0 +1,193 @@
+"""Common allocator interface and statistics.
+
+Every allocator in this repository -- the PyTorch-style baselines and
+STAlloc's runtime allocator alike -- implements :class:`Allocator`.  The
+replay simulator drives allocators exclusively through this interface, keyed
+by the trace's request ids, which keeps the experiment harness completely
+allocator-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.events import Phase, TensorCategory
+
+
+@dataclass(frozen=True)
+class AllocationHints:
+    """Side-band information accompanying an allocation request.
+
+    PyTorch's pluggable-allocator interface only passes a size and a stream;
+    STAlloc additionally observes the current computation phase and module
+    through its lightweight instrumentation hooks (§8).  The hints carry that
+    information; baseline allocators are free to ignore it.
+    """
+
+    phase: Phase | None = None
+    module: str = ""
+    dyn: bool = False
+    category: TensorCategory = TensorCategory.OTHER
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a live request currently resides.
+
+    ``pool`` identifies the backing region (e.g. ``"static"``, ``"caching"``,
+    ``"segment:3"``); ``address`` is the byte offset inside that pool.  The
+    replay simulator uses placements only for consistency checking and
+    reporting -- allocators are the source of truth.
+    """
+
+    pool: str
+    address: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class AllocatorStats:
+    """Operation counters shared by every allocator implementation."""
+
+    alloc_calls: int = 0
+    free_calls: int = 0
+    device_malloc_calls: int = 0
+    device_free_calls: int = 0
+    vmm_ops: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    splits: int = 0
+    merges: int = 0
+    stitches: int = 0
+    fallback_allocs: int = 0
+    plan_mismatches: int = 0
+    peak_reserved: int = 0
+    peak_allocated: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view used in experiment reports."""
+        data = {
+            "alloc_calls": self.alloc_calls,
+            "free_calls": self.free_calls,
+            "device_malloc_calls": self.device_malloc_calls,
+            "device_free_calls": self.device_free_calls,
+            "vmm_ops": self.vmm_ops,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "splits": self.splits,
+            "merges": self.merges,
+            "stitches": self.stitches,
+            "fallback_allocs": self.fallback_allocs,
+            "plan_mismatches": self.plan_mismatches,
+            "peak_reserved": self.peak_reserved,
+            "peak_allocated": self.peak_allocated,
+        }
+        data.update(self.extra)
+        return data
+
+
+class Allocator(abc.ABC):
+    """Abstract GPU memory allocator driven by the replay simulator.
+
+    Subclasses must implement :meth:`allocate` and :meth:`free`, and report
+    how much device memory they have reserved through :attr:`reserved_bytes`.
+    ``allocated_bytes`` (the sum of live *requested* sizes) is tracked here so
+    that the memory-efficiency metric is computed identically for every
+    allocator.
+    """
+
+    #: Short identifier used in experiment tables (subclasses override).
+    name: str = "allocator"
+
+    def __init__(self) -> None:
+        self.stats = AllocatorStats()
+        self._live_sizes: dict[int, int] = {}
+        self._allocated_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _do_allocate(self, req_id: int, size: int, hints: AllocationHints) -> Placement:
+        """Allocate ``size`` bytes for request ``req_id`` and return its placement."""
+
+    @abc.abstractmethod
+    def _do_free(self, req_id: int) -> None:
+        """Free the memory backing request ``req_id``."""
+
+    @property
+    @abc.abstractmethod
+    def reserved_bytes(self) -> int:
+        """Device memory currently reserved by this allocator (``M_r``)."""
+
+    # ------------------------------------------------------------------ #
+    # Template methods (bookkeeping shared by all allocators)
+    # ------------------------------------------------------------------ #
+    def allocate(self, req_id: int, size: int, hints: AllocationHints | None = None) -> Placement:
+        """Serve an allocation request.
+
+        Raises :class:`repro.gpu.errors.OutOfMemoryError` when the request
+        cannot be satisfied.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if req_id in self._live_sizes:
+            raise ValueError(f"request {req_id} is already live")
+        hints = hints or AllocationHints()
+        placement = self._do_allocate(req_id, int(size), hints)
+        self.stats.alloc_calls += 1
+        self._live_sizes[req_id] = int(size)
+        self._allocated_bytes += int(size)
+        self.stats.peak_allocated = max(self.stats.peak_allocated, self._allocated_bytes)
+        self.stats.peak_reserved = max(self.stats.peak_reserved, self.reserved_bytes)
+        return placement
+
+    def free(self, req_id: int) -> None:
+        """Free a previously allocated request."""
+        if req_id not in self._live_sizes:
+            raise KeyError(f"request {req_id} is not live")
+        self._do_free(req_id)
+        self.stats.free_calls += 1
+        self._allocated_bytes -= self._live_sizes.pop(req_id)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def allocated_bytes(self) -> int:
+        """Sum of the requested sizes of live allocations (``M_a``)."""
+        return self._allocated_bytes
+
+    @property
+    def live_requests(self) -> int:
+        return len(self._live_sizes)
+
+    @property
+    def memory_efficiency(self) -> float:
+        """Instantaneous efficiency ``E = M_a / M_r`` (1.0 when nothing is reserved)."""
+        reserved = self.reserved_bytes
+        if reserved == 0:
+            return 1.0
+        return self._allocated_bytes / reserved
+
+    def iteration_boundary(self) -> None:
+        """Hook invoked by the simulator between training iterations.
+
+        Baseline allocators ignore it; STAlloc's runtime allocator uses it to
+        rewind its plan cursor to the start of the next iteration.
+        """
+
+    def overhead_seconds(self) -> float:
+        """Extra wall-clock time this allocator added to one iteration.
+
+        Used by the throughput model.  The default charges nothing; allocators
+        that issue virtual-memory or driver calls override this.
+        """
+        return 0.0

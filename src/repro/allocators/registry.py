@@ -1,0 +1,53 @@
+"""Allocator registry.
+
+Experiments refer to allocators by the short names used in the paper's
+figures ("torch2.0", "gmlake", "torch2.3", "torch_es", "stalloc"); the
+registry maps those names to factory callables so harness code never needs to
+know construction details.  STAlloc itself is registered lazily by
+:mod:`repro.simulator.runner` because building it requires a profiling pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.allocators.base import Allocator
+from repro.allocators.caching import CachingAllocator, torch20_config, torch23_config
+from repro.allocators.expandable import ExpandableSegmentsAllocator
+from repro.allocators.gmlake import GMLakeAllocator
+from repro.allocators.native import NativeAllocator
+from repro.gpu.device import Device
+
+AllocatorFactory = Callable[[Device], Allocator]
+
+_REGISTRY: dict[str, AllocatorFactory] = {
+    "native": NativeAllocator,
+    "torch2.0": lambda device: CachingAllocator(device, torch20_config()),
+    "torch2.3": lambda device: CachingAllocator(device, torch23_config()),
+    "torch2.6": lambda device: CachingAllocator(device, torch23_config()),
+    "torch_es": ExpandableSegmentsAllocator,
+    "gmlake": GMLakeAllocator,
+}
+
+
+def available_allocators() -> list[str]:
+    """Names accepted by :func:`create_allocator`."""
+    return sorted(_REGISTRY)
+
+
+def register_allocator(name: str, factory: AllocatorFactory, *, overwrite: bool = False) -> None:
+    """Register a custom allocator factory under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"allocator {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_allocator(name: str, device: Device) -> Allocator:
+    """Instantiate the allocator registered under ``name`` for ``device``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r}; available: {', '.join(available_allocators())}"
+        ) from None
+    return factory(device)

@@ -1,0 +1,59 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    stalloc-repro list
+    stalloc-repro run fig8a
+    stalloc-repro run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import available_experiments, run_experiment
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stalloc-repro",
+        description="Reproduce the tables and figures of the STAlloc paper (EuroSys '26).",
+    )
+    parser.add_argument("--version", action="version", version=f"stalloc-repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id (e.g. fig8a, table1) or 'all'")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="run a reduced version of the experiment"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        targets = available_experiments() if args.experiment == "all" else [args.experiment]
+        for experiment_id in targets:
+            result = run_experiment(experiment_id, quick=args.quick)
+            print(result.to_text())
+            print()
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

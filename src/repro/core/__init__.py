@@ -1,0 +1,55 @@
+"""STAlloc core: profiler, plan synthesizer and runtime allocator.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.events` -- the memory-request event model
+  ``m := (s, t_s, t_e, p_s, p_e, dyn)`` (§4).
+* :mod:`repro.core.profiler` -- the Allocation Profiler that pairs alloc/free
+  events from a trace into memory-request events (§4).
+* :mod:`repro.core.homophase` / :mod:`repro.core.homosize` /
+  :mod:`repro.core.planner` -- the Plan Synthesizer's static allocation
+  planning: HomoPhase grouping with TMP-guided fusion, HomoSize grouping with
+  memory-layer construction (Algorithm 1), and descending-size global
+  planning (§5.1).
+* :mod:`repro.core.dynamic_space` -- Dynamic Reusable Space location through
+  HomoLayer groups (§5.2).
+* :mod:`repro.core.runtime` -- the Runtime Allocator with Static Allocator,
+  Dynamic Allocator, Request Matcher and caching-allocator fallback (§6).
+* :mod:`repro.core.stalloc` -- the :class:`STAlloc` facade tying the pipeline
+  together (profile -> synthesize -> allocate).
+"""
+
+from repro.core.events import (
+    EventKind,
+    MemoryRequest,
+    Phase,
+    PhaseKind,
+    TensorCategory,
+    TraceEvent,
+)
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.plan import AllocationDecision, StaticAllocationPlan, SynthesizedPlan
+from repro.core.profiler import AllocationProfiler, ProfileResult
+from repro.core.runtime import RuntimeAllocator
+from repro.core.stalloc import STAlloc, STAllocConfig
+from repro.core.synthesizer import PlanSynthesizer
+
+__all__ = [
+    "EventKind",
+    "MemoryRequest",
+    "Phase",
+    "PhaseKind",
+    "TensorCategory",
+    "TraceEvent",
+    "Interval",
+    "IntervalSet",
+    "AllocationDecision",
+    "StaticAllocationPlan",
+    "SynthesizedPlan",
+    "AllocationProfiler",
+    "ProfileResult",
+    "PlanSynthesizer",
+    "RuntimeAllocator",
+    "STAlloc",
+    "STAllocConfig",
+]

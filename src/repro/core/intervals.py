@@ -1,0 +1,249 @@
+"""Address-interval set algebra.
+
+Both the plan synthesizer (when locating Dynamic Reusable Space, §5.2) and the
+runtime Dynamic Allocator (when intersecting reusable space with currently
+free space, §6.2) operate on sets of half-open integer intervals
+``[start, end)`` over the byte-address space of the static memory pool.
+
+:class:`IntervalSet` keeps its member intervals disjoint, non-empty and sorted
+by start address, and provides the union / difference / intersection /
+complement operations those components need, plus best-fit and first-fit
+carving used for actual allocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` of byte addresses."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"interval end ({self.end}) must exceed start ({self.start})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_point(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+class IntervalSet:
+    """A set of disjoint, sorted, half-open integer intervals.
+
+    The set is mutable; all mutating operations keep the canonical form
+    (sorted, disjoint, no empty intervals, adjacent intervals merged).
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int] | Interval] = ()):
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for interval in intervals:
+            start, end = self._coerce(interval)
+            self.add(start, end)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(interval: tuple[int, int] | Interval) -> tuple[int, int]:
+        if isinstance(interval, Interval):
+            return interval.start, interval.end
+        start, end = interval
+        return int(start), int(end)
+
+    @classmethod
+    def full(cls, start: int, end: int) -> "IntervalSet":
+        """A set covering the single interval ``[start, end)``."""
+        out = cls()
+        out.add(start, end)
+        return out
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._starts = list(self._starts)
+        out._ends = list(self._ends)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[Interval]:
+        for start, end in zip(self._starts, self._ends):
+            yield Interval(start, end)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        spans = ", ".join(f"[{s}, {e})" for s, e in zip(self._starts, self._ends))
+        return f"IntervalSet({spans})"
+
+    def intervals(self) -> Sequence[Interval]:
+        """Return the member intervals as a list."""
+        return list(self)
+
+    @property
+    def total(self) -> int:
+        """Total covered length in bytes."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    @property
+    def span(self) -> Interval | None:
+        """The bounding interval from the lowest start to the highest end."""
+        if not self._starts:
+            return None
+        return Interval(self._starts[0], self._ends[-1])
+
+    def contains(self, start: int, end: int) -> bool:
+        """True when the whole of ``[start, end)`` is covered by the set."""
+        if end <= start:
+            raise ValueError("contains() requires a non-empty interval")
+        idx = bisect.bisect_right(self._starts, start) - 1
+        if idx < 0:
+            return False
+        return self._ends[idx] >= end and self._starts[idx] <= start
+
+    def contains_point(self, address: int) -> bool:
+        idx = bisect.bisect_right(self._starts, address) - 1
+        return idx >= 0 and address < self._ends[idx]
+
+    # ------------------------------------------------------------------ #
+    # Mutating set operations
+    # ------------------------------------------------------------------ #
+    def add(self, start: int, end: int) -> None:
+        """Union ``[start, end)`` into the set (merging adjacent intervals)."""
+        if end <= start:
+            if end == start:
+                return
+            raise ValueError(f"invalid interval [{start}, {end})")
+        # Find the window of existing intervals that touch or overlap the new one.
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+
+    def remove(self, start: int, end: int) -> None:
+        """Subtract ``[start, end)`` from the set."""
+        if end <= start:
+            if end == start:
+                return
+            raise ValueError(f"invalid interval [{start}, {end})")
+        lo = bisect.bisect_right(self._ends, start)
+        hi = bisect.bisect_left(self._starts, end)
+        if lo >= hi:
+            return
+        new_starts: list[int] = []
+        new_ends: list[int] = []
+        first_start, last_end = self._starts[lo], self._ends[hi - 1]
+        if first_start < start:
+            new_starts.append(first_start)
+            new_ends.append(start)
+        if end < last_end:
+            new_starts.append(end)
+            new_ends.append(last_end)
+        self._starts[lo:hi] = new_starts
+        self._ends[lo:hi] = new_ends
+
+    # ------------------------------------------------------------------ #
+    # Non-mutating set algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        out = self.copy()
+        for interval in other:
+            out.add(interval.start, interval.end)
+        return out
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out = self.copy()
+        for interval in other:
+            out.remove(interval.start, interval.end)
+        return out
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Intersect two sets with a linear merge over their intervals."""
+        out = IntervalSet()
+        a = list(zip(self._starts, self._ends))
+        b = list(zip(other._starts, other._ends))
+        i = j = 0
+        while i < len(a) and j < len(b):
+            start = max(a[i][0], b[j][0])
+            end = min(a[i][1], b[j][1])
+            if start < end:
+                out.add(start, end)
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return out
+
+    def complement(self, start: int, end: int) -> "IntervalSet":
+        """Return ``[start, end)`` minus this set."""
+        out = IntervalSet.full(start, end)
+        return out.difference(self)
+
+    # ------------------------------------------------------------------ #
+    # Allocation-style carving
+    # ------------------------------------------------------------------ #
+    def best_fit(self, size: int) -> Interval | None:
+        """Smallest member interval that can hold ``size`` bytes (ties: lowest address)."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        best: Interval | None = None
+        for interval in self:
+            if interval.length >= size and (best is None or interval.length < best.length):
+                best = interval
+        return best
+
+    def first_fit(self, size: int) -> Interval | None:
+        """Lowest-addressed member interval that can hold ``size`` bytes."""
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        for interval in self:
+            if interval.length >= size:
+                return interval
+        return None
+
+    def carve(self, size: int, *, policy: str = "best_fit") -> Interval | None:
+        """Allocate ``size`` bytes out of the set and return the carved interval.
+
+        The carved bytes are removed from the set.  Returns ``None`` when no
+        member interval is large enough.
+        """
+        finder = self.best_fit if policy == "best_fit" else self.first_fit
+        candidate = finder(size)
+        if candidate is None:
+            return None
+        carved = Interval(candidate.start, candidate.start + size)
+        self.remove(carved.start, carved.end)
+        return carved

@@ -1,0 +1,127 @@
+"""Allocation-plan data structures.
+
+The Plan Synthesizer's output consists of:
+
+* a :class:`StaticAllocationPlan` -- one :class:`AllocationDecision` per static
+  request, i.e. the profiled request augmented with the start address ``a`` it
+  must be placed at (``d := m + (a)`` in §5.1), together with the total size
+  of the static memory pool those addresses live in;
+* a set of *Dynamic Reusable Spaces* -- for every HomoLayer group of dynamic
+  requests, the address intervals of the static pool that remain idle
+  throughout that group's temporal range (§5.2).
+
+Both are bundled in :class:`SynthesizedPlan`, which is what the Runtime
+Allocator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import MemoryRequest
+from repro.core.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """A static request together with its planned start address."""
+
+    request: MemoryRequest
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"planned address must be non-negative, got {self.address}")
+
+    @property
+    def size(self) -> int:
+        return self.request.size
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.request.size
+
+    def conflicts_with(self, other: "AllocationDecision") -> bool:
+        """True when the two decisions overlap in both space and time."""
+        space_overlap = self.address < other.end_address and other.address < self.end_address
+        return space_overlap and self.request.overlaps(other.request)
+
+
+@dataclass
+class StaticAllocationPlan:
+    """Planned addresses for every static request of one iteration."""
+
+    decisions: list[AllocationDecision] = field(default_factory=list)
+    pool_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pool_size == 0 and self.decisions:
+            self.pool_size = max(decision.end_address for decision in self.decisions)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def by_request_id(self) -> dict[int, AllocationDecision]:
+        """Index the plan by the profiled request id."""
+        return {decision.request.req_id: decision for decision in self.decisions}
+
+    def peak_planned_bytes(self) -> int:
+        """Highest end address used by any decision (<= ``pool_size``)."""
+        if not self.decisions:
+            return 0
+        return max(decision.end_address for decision in self.decisions)
+
+    def validate(self) -> None:
+        """Check the fundamental planning constraint: no spatio-temporal overlap.
+
+        Runs an address-ordered sweep so validation is ``O(n log n + k)`` with
+        ``k`` the number of actually-overlapping address pairs, which is what
+        the tests and the synthesizer's self-check use.
+        """
+        for decision in self.decisions:
+            if decision.end_address > self.pool_size:
+                raise ValueError(
+                    f"decision for request {decision.request.req_id} ends at "
+                    f"{decision.end_address}, beyond the pool size {self.pool_size}"
+                )
+        ordered = sorted(self.decisions, key=lambda d: d.address)
+        active: list[AllocationDecision] = []
+        for decision in ordered:
+            still_active = []
+            for other in active:
+                if other.end_address > decision.address:
+                    still_active.append(other)
+                    if decision.conflicts_with(other):
+                        raise ValueError(
+                            "memory stomping: requests "
+                            f"{decision.request.req_id} and {other.request.req_id} overlap "
+                            "in both address range and lifespan"
+                        )
+            active = still_active
+            active.append(decision)
+
+    def allocated_time_memory(self) -> int:
+        """Numerator of the plan-level time-memory product."""
+        return sum(decision.request.memory_time() for decision in self.decisions)
+
+
+@dataclass
+class SynthesizedPlan:
+    """Everything the Runtime Allocator needs: static plan + dynamic spaces."""
+
+    static_plan: StaticAllocationPlan
+    #: HomoLayer-group key (alloc module, free module) -> reusable address space.
+    dynamic_reusable_spaces: dict[tuple[str, str], IntervalSet] = field(default_factory=dict)
+    #: Profiled dynamic request id -> its HomoLayer-group key, used by the
+    #: runtime Request Matcher to route dynamic requests to the right space.
+    dynamic_request_groups: dict[int, tuple[str, str]] = field(default_factory=dict)
+    #: Statistics recorded during synthesis (group counts, timings, ...).
+    synthesis_info: dict = field(default_factory=dict)
+
+    @property
+    def pool_size(self) -> int:
+        return self.static_plan.pool_size
+
+    def reusable_space_for(self, alloc_module: str, free_module: str) -> IntervalSet:
+        """Reusable space for a dynamic request's HomoLayer group (may be empty)."""
+        return self.dynamic_reusable_spaces.get((alloc_module, free_module), IntervalSet())

@@ -1,0 +1,95 @@
+"""Global static allocation planning (§5.1, Figure 6 right).
+
+The global planner receives the (possibly fused) HomoPhase local plans,
+groups them by size into HomoSize groups, and lays the groups out in
+*descending* size order:
+
+1. requests of the current size are first slotted into idle time windows of
+   the memory-layers created for larger sizes ("Requests Insertion" in
+   Figure 6) -- smaller plans fit into the unused intervals of larger ones;
+2. whatever cannot be inserted builds new memory-layers via Algorithm 1;
+3. finally every layer receives an absolute base address (layers are simply
+   stacked) and each original request's address becomes
+   ``layer.base + plan-relative offset``.
+
+The output is a :class:`~repro.core.plan.StaticAllocationPlan` whose pool size
+is the sum of the layer sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.homophase import LocalPlan
+from repro.core.homosize import MemoryLayer, construct_memory_layers, group_by_size
+from repro.core.plan import AllocationDecision, StaticAllocationPlan
+
+
+@dataclass
+class GlobalPlannerConfig:
+    """Policy knobs of the global planner (exposed for ablation benchmarks)."""
+
+    #: Process HomoSize groups from largest to smallest (the paper's order).
+    #: Ascending order is only useful to demonstrate why descending wins.
+    descending_size_order: bool = True
+    #: Allow smaller plans to reuse idle windows of larger layers.
+    enable_gap_insertion: bool = True
+
+
+def build_global_plan(
+    plans: list[LocalPlan],
+    config: GlobalPlannerConfig | None = None,
+) -> tuple[StaticAllocationPlan, list[MemoryLayer]]:
+    """Assign absolute addresses to every request of every local plan."""
+    config = config or GlobalPlannerConfig()
+    groups = group_by_size(plans)
+    sizes = sorted(groups, reverse=config.descending_size_order)
+
+    layers: list[MemoryLayer] = []
+    for size in sizes:
+        pending: list[LocalPlan] = []
+        for plan in sorted(groups[size], key=lambda p: (p.start_time, p.end_time)):
+            if config.enable_gap_insertion and _insert_into_existing_layer(plan, layers):
+                continue
+            pending.append(plan)
+        layers.extend(construct_memory_layers(pending, size))
+
+    base = 0
+    decisions: list[AllocationDecision] = []
+    for layer in layers:
+        layer.base = base
+        base += layer.size
+        for item in layer.items:
+            for placed in item.placed:
+                decisions.append(
+                    AllocationDecision(request=placed.request, address=layer.base + placed.offset)
+                )
+    static_plan = StaticAllocationPlan(decisions=decisions, pool_size=base)
+    return static_plan, layers
+
+
+def _insert_into_existing_layer(plan: LocalPlan, layers: list[MemoryLayer]) -> bool:
+    """Place ``plan`` into the tightest existing layer with a free time window."""
+    best: MemoryLayer | None = None
+    for layer in layers:
+        if layer.can_hold(plan) and (best is None or layer.size < best.size):
+            best = layer
+    if best is None:
+        return False
+    best.append(plan)
+    return True
+
+
+def plan_reserved_bytes(layers: list[MemoryLayer]) -> int:
+    """Total bytes the layered plan reserves (sum of layer sizes)."""
+    return sum(layer.size for layer in layers)
+
+
+def plan_summary(layers: list[MemoryLayer]) -> dict:
+    """Small report used in synthesis_info and the ablation benchmarks."""
+    return {
+        "num_layers": len(layers),
+        "reserved_bytes": plan_reserved_bytes(layers),
+        "layer_sizes": [layer.size for layer in layers],
+        "items_per_layer": [len(layer.items) for layer in layers],
+    }

@@ -1,0 +1,185 @@
+"""Runtime Allocator (§6): static allocator + dynamic allocator + fallback.
+
+At training time STAlloc reserves one contiguous *static memory pool* sized by
+the Static Allocation Plan and serves requests as follows:
+
+* the **Request Matcher** routes each incoming request: static requests whose
+  size matches the plan go to the Static Allocator, dynamic (MoE) requests go
+  to the Dynamic Allocator, anything unexpected falls back;
+* the **Static Allocator** simply hands out the pre-planned address (O(1));
+  if the planned range is unexpectedly busy -- a plan mismatch -- the request
+  falls back instead of stomping memory;
+* the **Dynamic Allocator** intersects the request's pre-computed Dynamic
+  Reusable Space with the pool's currently free intervals and carves the
+  best-fit candidate (Eq. 7); when nothing fits it falls back;
+* the **fallback** is a PyTorch-style caching allocator on the same device,
+  guaranteeing robustness for mismatches and overflow.
+
+Reserved memory is therefore ``static pool size + fallback reserved bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocators.base import AllocationHints, Allocator, Placement
+from repro.allocators.caching import CachingAllocator, CachingAllocatorConfig
+from repro.core.intervals import IntervalSet
+from repro.core.plan import SynthesizedPlan
+from repro.gpu.device import Device
+
+
+@dataclass
+class _PoolPlacement:
+    """A live allocation inside the static memory pool."""
+
+    address: int
+    size: int
+    source: str  # "static" or "dynamic"
+
+
+class RuntimeAllocator(Allocator):
+    """STAlloc's runtime allocator, driven by a synthesized plan."""
+
+    name = "stalloc"
+
+    def __init__(
+        self,
+        device: Device,
+        plan: SynthesizedPlan,
+        *,
+        enable_dynamic_reuse: bool = True,
+        fallback_config: CachingAllocatorConfig | None = None,
+    ):
+        super().__init__()
+        self.device = device
+        self.plan = plan
+        self.enable_dynamic_reuse = enable_dynamic_reuse
+        self._decisions = plan.static_plan.by_request_id()
+        self._pool_size = plan.pool_size
+        self._pool_allocation = device.malloc(self._pool_size) if self._pool_size else None
+        self.stats.device_malloc_calls += 1 if self._pool_allocation else 0
+        #: Currently free address intervals of the static pool (``A_a``).
+        self._available = IntervalSet.full(0, self._pool_size) if self._pool_size else IntervalSet()
+        self._pool_placements: dict[int, _PoolPlacement] = {}
+        self.fallback = CachingAllocator(device, fallback_config or CachingAllocatorConfig(label="stalloc-fallback"))
+        self._fallback_requests: set[int] = set()
+        self.stats.extra.update(
+            {
+                "static_pool_bytes": self._pool_size,
+                "static_bytes": 0,
+                "dynamic_pool_bytes": 0,
+                "fallback_bytes": 0,
+                "dynamic_fallback_bytes": 0,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def reserved_bytes(self) -> int:
+        return self._pool_size + self.fallback.reserved_bytes
+
+    @property
+    def pool_free_bytes(self) -> int:
+        """Bytes of the static pool not currently backing any request."""
+        return self._available.total
+
+    # ------------------------------------------------------------------ #
+    # Request Matcher
+    # ------------------------------------------------------------------ #
+    def _do_allocate(self, req_id: int, size: int, hints: AllocationHints) -> Placement:
+        if hints.dyn:
+            return self._allocate_dynamic(req_id, size, hints)
+        return self._allocate_static(req_id, size, hints)
+
+    # ------------------------------------------------------------------ #
+    # Static Allocator
+    # ------------------------------------------------------------------ #
+    def _allocate_static(self, req_id: int, size: int, hints: AllocationHints) -> Placement:
+        decision = self._decisions.get(req_id)
+        if decision is None or decision.request.size != size:
+            # The runtime request does not match the profiled plan.
+            self.stats.plan_mismatches += 1
+            return self._allocate_fallback(req_id, size, hints)
+        if not self._available.contains(decision.address, decision.end_address):
+            # The planned range is busy (e.g. an earlier mismatch cascaded);
+            # never stomp memory -- fall back instead.
+            self.stats.plan_mismatches += 1
+            return self._allocate_fallback(req_id, size, hints)
+        self._available.remove(decision.address, decision.end_address)
+        self._pool_placements[req_id] = _PoolPlacement(decision.address, size, "static")
+        self.stats.extra["static_bytes"] += size
+        return Placement(pool="static", address=decision.address, size=size)
+
+    # ------------------------------------------------------------------ #
+    # Dynamic Allocator
+    # ------------------------------------------------------------------ #
+    def _allocate_dynamic(self, req_id: int, size: int, hints: AllocationHints) -> Placement:
+        if not self.enable_dynamic_reuse or self._pool_size == 0:
+            self.stats.extra["dynamic_fallback_bytes"] += size
+            return self._allocate_fallback(req_id, size, hints)
+        group_key = self.plan.dynamic_request_groups.get(req_id)
+        if group_key is None:
+            # Unseen dynamic request: derive the group from the module hint,
+            # assuming allocation and free happen in the same module.
+            group_key = (hints.module, hints.module)
+        reusable = self.plan.dynamic_reusable_spaces.get(group_key)
+        if reusable is None and hints.module:
+            # Fall back to any group allocated from the same module.
+            for (alloc_module, _free_module), space in self.plan.dynamic_reusable_spaces.items():
+                if alloc_module == hints.module:
+                    reusable = space
+                    break
+        if not reusable:
+            self.stats.extra["dynamic_fallback_bytes"] += size
+            return self._allocate_fallback(req_id, size, hints)
+        candidates = self._available.intersection(reusable)
+        carved = candidates.best_fit(size)
+        if carved is None:
+            self.stats.extra["dynamic_fallback_bytes"] += size
+            return self._allocate_fallback(req_id, size, hints)
+        address = carved.start
+        self._available.remove(address, address + size)
+        self._pool_placements[req_id] = _PoolPlacement(address, size, "dynamic")
+        self.stats.extra["dynamic_pool_bytes"] += size
+        return Placement(pool="static", address=address, size=size)
+
+    # ------------------------------------------------------------------ #
+    # Fallback caching allocator
+    # ------------------------------------------------------------------ #
+    def _allocate_fallback(self, req_id: int, size: int, hints: AllocationHints) -> Placement:
+        self.stats.fallback_allocs += 1
+        self.stats.extra["fallback_bytes"] += size
+        placement = self.fallback.allocate(req_id, size, hints)
+        self._fallback_requests.add(req_id)
+        self.stats.extra["fallback_peak_reserved"] = max(
+            self.stats.extra.get("fallback_peak_reserved", 0), self.fallback.reserved_bytes
+        )
+        return placement
+
+    # ------------------------------------------------------------------ #
+    # Free
+    # ------------------------------------------------------------------ #
+    def _do_free(self, req_id: int) -> None:
+        if req_id in self._fallback_requests:
+            self._fallback_requests.remove(req_id)
+            self.fallback.free(req_id)
+            return
+        placement = self._pool_placements.pop(req_id)
+        self._available.add(placement.address, placement.address + placement.size)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Return the static pool and all cached fallback segments to the device."""
+        if self._pool_allocation is not None:
+            self.device.free(self._pool_allocation)
+            self._pool_allocation = None
+        self.fallback.release_cached_segments()
+
+    def overhead_seconds(self) -> float:
+        """STAlloc adds no per-request driver calls; only the fallback does."""
+        return self.fallback.overhead_seconds()

@@ -1,0 +1,107 @@
+"""The STAlloc facade: profile -> synthesize -> runtime allocation.
+
+:class:`STAlloc` ties the three components of the paper together behind one
+object so downstream users (examples, experiments, the replay simulator) can
+write::
+
+    stalloc = STAlloc.from_trace(trace)
+    allocator = stalloc.build_runtime_allocator(device)
+
+which mirrors deploying the real system: run the Allocation Profiler for a few
+iterations, feed the result to the Plan Synthesizer, then load the Runtime
+Allocator (a pluggable PyTorch allocator in the original) for the actual
+training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import SynthesizedPlan
+from repro.core.profiler import AllocationProfiler, ProfileResult
+from repro.core.runtime import RuntimeAllocator
+from repro.core.synthesizer import PlanSynthesizer, SynthesizerConfig
+from repro.gpu.device import Device
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class STAllocConfig:
+    """End-to-end configuration of the STAlloc pipeline."""
+
+    enable_fusion: bool = True
+    fusion_strategy: str = "repack"
+    enable_gap_insertion: bool = True
+    descending_size_order: bool = True
+    enable_dynamic_reuse: bool = True
+    validate_plan: bool = True
+    profiler_iterations: int = 3
+
+    def synthesizer_config(self) -> SynthesizerConfig:
+        return SynthesizerConfig(
+            enable_fusion=self.enable_fusion,
+            fusion_strategy=self.fusion_strategy,
+            enable_gap_insertion=self.enable_gap_insertion,
+            descending_size_order=self.descending_size_order,
+            enable_dynamic_reuse=self.enable_dynamic_reuse,
+            validate_plan=self.validate_plan,
+        )
+
+
+@dataclass
+class STAlloc:
+    """Profiled + planned STAlloc instance for one training configuration."""
+
+    profile: ProfileResult
+    plan: SynthesizedPlan
+    config: STAllocConfig = field(default_factory=STAllocConfig)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trace(cls, trace: Trace, config: STAllocConfig | None = None) -> "STAlloc":
+        """Run the full offline pipeline (profiler + plan synthesizer) on a trace."""
+        config = config or STAllocConfig()
+        profiler = AllocationProfiler(iterations=config.profiler_iterations)
+        profile = profiler.profile(trace)
+        synthesizer = PlanSynthesizer(config.synthesizer_config())
+        plan = synthesizer.synthesize(profile)
+        return cls(profile=profile, plan=plan, config=config)
+
+    @classmethod
+    def from_profile(cls, profile: ProfileResult, config: STAllocConfig | None = None) -> "STAlloc":
+        """Synthesize a plan from an existing profiling result."""
+        config = config or STAllocConfig()
+        synthesizer = PlanSynthesizer(config.synthesizer_config())
+        plan = synthesizer.synthesize(profile)
+        return cls(profile=profile, plan=plan, config=config)
+
+    # ------------------------------------------------------------------ #
+    # Runtime
+    # ------------------------------------------------------------------ #
+    def build_runtime_allocator(self, device: Device) -> RuntimeAllocator:
+        """Instantiate the runtime allocator backed by this instance's plan."""
+        return RuntimeAllocator(
+            device,
+            self.plan,
+            enable_dynamic_reuse=self.config.enable_dynamic_reuse,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def static_pool_bytes(self) -> int:
+        return self.plan.pool_size
+
+    def planning_report(self) -> dict:
+        """Summary of the offline pipeline: group counts, pool size, timings."""
+        report = dict(self.plan.synthesis_info)
+        report.update(self.profile.summary())
+        peak = self.profile.peak_allocated_bytes()
+        if self.plan.pool_size:
+            report["plan_overhead_ratio"] = self.plan.pool_size / max(
+                report.get("peak_static_demand_bytes", peak), 1
+            )
+        return report

@@ -1,0 +1,23 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each experiment is a function registered under the paper's artifact id
+(``fig2``, ``fig8a``, ``table1``, ...) that builds the workload, runs the
+relevant allocators on a simulated device, and returns an
+:class:`~repro.experiments.common.ExperimentResult` containing the rows/series
+the paper reports.  ``python -m repro.cli run <id>`` prints any of them.
+"""
+
+from repro.experiments import fig1b, fig2, fig3, fig8, fig9, fig10, fig11, fig12, fig13, tables  # noqa: F401
+from repro.experiments.common import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

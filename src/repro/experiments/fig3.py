@@ -1,0 +1,62 @@
+"""Figure 3: allocation-size distribution (spatial regularity).
+
+The paper observes that among >50,000 allocations of one Llama2-7B training
+iteration there are only ~32 distinct sizes above 512 bytes, and that the
+regularity persists under recomputation and virtual pipelining.  This
+experiment reports the distinct-size counts and a log-bucketed histogram for
+the same three configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.experiments.common import A800_WORKLOADS, ExperimentResult, register_experiment
+from repro.simulator.runner import generate_trace
+
+
+def _bucket_label(size: int) -> str:
+    """Human-readable power-of-two bucket label (1K, 2K, ..., 128M)."""
+    if size <= 0:
+        return "0"
+    exponent = int(math.floor(math.log2(size)))
+    bucket = 2 ** exponent
+    units = [(1 << 30, "G"), (1 << 20, "M"), (1 << 10, "K")]
+    for scale, suffix in units:
+        if bucket >= scale:
+            return f"{bucket // scale}{suffix}"
+    return str(bucket)
+
+
+@register_experiment("fig3")
+def run(*, min_size: int = 512, quick: bool = False) -> ExperimentResult:
+    """Distinct allocation sizes and size histogram for None / R / V configurations."""
+    workload = A800_WORKLOADS["llama2-7b"]
+    presets = ["Naive", "R", "V"] if not quick else ["Naive", "R"]
+    rows = []
+    for preset in presets:
+        config = workload.preset(preset)
+        trace = generate_trace(config)
+        sizes = [size for size in trace.allocation_sizes(min_size=min_size + 1)]
+        histogram = Counter(_bucket_label(size) for size in sizes)
+        top_buckets = ", ".join(
+            f"{bucket}:{count}" for bucket, count in sorted(histogram.items(), key=lambda kv: -kv[1])[:6]
+        )
+        rows.append(
+            {
+                "config": preset,
+                "num_allocations": len(sizes),
+                "distinct_sizes": trace.distinct_sizes(min_size=min_size),
+                "top_size_buckets": top_buckets,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Allocation size distribution during Llama2-7B training",
+        rows=rows,
+        notes=(
+            "Paper: ~32 distinct sizes among >50,000 allocations larger than 512 B, "
+            "with or without recomputation / virtual pipeline (Figure 3)."
+        ),
+    )

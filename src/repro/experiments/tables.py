@@ -1,0 +1,217 @@
+"""Tables 1-3 of the evaluation section.
+
+* Table 1: which training configurations of Qwen2.5-14B on 16 GPUs survive
+  each allocator, and what throughput each configuration achieves.
+* Table 2: profiling and plan-synthesis time for traces of increasing size.
+* Table 3: composition of allocation types (static vs dynamic fallback) for
+  the MoE model, with and without dynamic reuse of the static pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.profiler import AllocationProfiler
+from repro.core.synthesizer import PlanSynthesizer
+from repro.experiments.common import A800_WORKLOADS, ExperimentResult, PRESETS, register_experiment
+from repro.gpu.device import GIB
+from repro.simulator.runner import (
+    STALLOC,
+    STALLOC_NO_REUSE,
+    generate_trace,
+    run_workload_suite,
+)
+from repro.simulator.throughput import GPU_SPECS, ThroughputModel
+from repro.workloads.models import get_model
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.training import TrainingConfig, preset_config
+
+
+# ---------------------------------------------------------------------- #
+# Table 1
+# ---------------------------------------------------------------------- #
+def _table1_configs(micro_batch_size: int, num_microbatches: int) -> list[tuple[str, TrainingConfig]]:
+    """The four Qwen2.5-14B configurations of Table 1 (16 GPUs)."""
+    model = get_model("qwen2.5-14b")
+
+    def build(label, tp, pp, vpp, recompute):
+        parallelism = ParallelismConfig(
+            tensor_parallel=tp,
+            pipeline_parallel=pp,
+            data_parallel=16 // (tp * pp),
+            virtual_pipeline_chunks=vpp,
+        )
+        return TrainingConfig(
+            model=model,
+            parallelism=parallelism,
+            micro_batch_size=micro_batch_size,
+            num_microbatches=num_microbatches,
+            recompute=recompute,
+            label=label,
+        )
+
+    return [
+        ("Original (VPP, TP=2)", build("original", 2, 2, 2, False)),
+        ("Disable VPP", build("no-vpp", 2, 2, 1, False)),
+        ("Recomputation", build("recompute", 2, 2, 1, True)),
+        ("TP=4", build("tp4", 4, 2, 1, False)),
+    ]
+
+
+@register_experiment("table1")
+def run_table1(
+    *,
+    micro_batch_size: int = 2,
+    num_microbatches: int = 8,
+    device_capacity_gib: float | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Feasibility and throughput of Qwen2.5-14B configurations on 16 GPUs."""
+    configs = _table1_configs(micro_batch_size, num_microbatches)
+    if quick:
+        configs = configs[:2]
+    lineup = ["torch2.6", "torch_es", STALLOC]
+    throughput = ThroughputModel(GPU_SPECS["H200-141GB"])
+    rows = []
+    for label, config in configs:
+        runs = run_workload_suite(
+            config,
+            lineup,
+            device_name="H200-141GB",
+            device_capacity_gib=device_capacity_gib,
+        )
+        rows.append(
+            {
+                "config": label,
+                "pytorch": "OK" if runs["torch2.6"].success else "OOM",
+                "pytorch_es": "OK" if runs["torch_es"].success else "OOM",
+                "stalloc": "OK" if runs[STALLOC].success else "OOM",
+                "reserved_torch_gib": round(runs["torch2.6"].replay.metrics.peak_reserved_gib, 1),
+                "reserved_stalloc_gib": round(runs[STALLOC].replay.metrics.peak_reserved_gib, 1),
+                "throughput_tflops": round(throughput.tflops(config), 1),
+            }
+        )
+    best = max(rows, key=lambda row: row["throughput_tflops"])
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Qwen2.5-14B on 16 GPUs: configuration feasibility and throughput",
+        rows=rows,
+        notes=(
+            f"Highest-throughput configuration: {best['config']} at {best['throughput_tflops']} TFLOPS. "
+            "Paper: only STAlloc runs the original VPP configuration, which outperforms the "
+            "fallback configurations by 5.4-32.5% (Table 1)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table 2
+# ---------------------------------------------------------------------- #
+#: Modelled slowdown of running one iteration through the native profiler
+#: (driver call per tensor) relative to the caching allocator.
+_NATIVE_DRIVER_CALL_SECONDS = 1e-4
+
+
+@register_experiment("table2")
+def run_table2(*, quick: bool = False) -> ExperimentResult:
+    """Profiling and plan-synthesis time for traces of increasing complexity."""
+    workloads = [
+        ("GPT-2-N", "gpt2-345m", "Naive"),
+        ("GPT-2-R", "gpt2-345m", "R"),
+        ("Llama2-7B-N", "llama2-7b", "Naive"),
+        ("Llama2-7B-R", "llama2-7b", "R"),
+        ("Qwen1.5-MoE-N", "qwen1.5-moe-a2.7b", "Naive"),
+        ("Qwen1.5-MoE-R", "qwen1.5-moe-a2.7b", "R"),
+    ]
+    if quick:
+        workloads = workloads[:2]
+    gpu = GPU_SPECS["A800-80GB"]
+    throughput = ThroughputModel(gpu)
+    profiler = AllocationProfiler()
+    synthesizer = PlanSynthesizer()
+    rows = []
+    for label, model_key, preset in workloads:
+        workload = A800_WORKLOADS[model_key]
+        config = workload.preset(preset)
+        trace = generate_trace(config)
+        # Profiling cost: the paper's profiler runs `iterations` iterations
+        # through the native GPU APIs, paying one driver call per event.
+        iteration_seconds = throughput.estimate(config).iteration_seconds
+        native_overhead = trace.num_events * _NATIVE_DRIVER_CALL_SECONDS
+        profile_seconds = profiler.iterations * (iteration_seconds + native_overhead)
+        started = time.perf_counter()
+        profile = profiler.profile(trace)
+        plan = synthesizer.synthesize(profile)
+        plan_seconds = time.perf_counter() - started
+        rows.append(
+            {
+                "config": label,
+                "num_requests": trace.num_requests,
+                "t_profile_s": round(profile_seconds, 1),
+                "t_plan_s": round(plan_seconds, 2),
+                "static_pool_gib": round(plan.pool_size / GIB, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Profiling and plan-synthesis time",
+        rows=rows,
+        notes=(
+            "t_profile models three profiled iterations through the native GPU APIs; t_plan is the "
+            "measured wall-clock of this implementation's plan synthesizer (paper: seconds to a few "
+            "minutes, Table 2)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table 3
+# ---------------------------------------------------------------------- #
+@register_experiment("table3")
+def run_table3(*, quick: bool = False) -> ExperimentResult:
+    """Composition of allocation types for Qwen1.5-MoE under each preset."""
+    workload = A800_WORKLOADS["qwen1.5-moe-a2.7b"]
+    presets = ["Naive", "R"] if quick else PRESETS
+    rows = []
+    for preset in presets:
+        config = workload.preset(preset)
+        trace = generate_trace(config)
+        profile = AllocationProfiler().profile(trace)
+        peak_total = profile.peak_allocated_bytes()
+        static_peak = _peak_bytes(profile.static_requests)
+        runs = run_workload_suite(
+            config, [STALLOC_NO_REUSE, STALLOC], device_name=workload.device_name
+        )
+        fallback_without = runs[STALLOC_NO_REUSE].replay.allocator_stats.get("fallback_peak_reserved", 0)
+        fallback_with = runs[STALLOC].replay.allocator_stats.get("fallback_peak_reserved", 0)
+        rows.append(
+            {
+                "config": preset,
+                "total_gib": round(peak_total / GIB, 2),
+                "static_gib": round(static_peak / GIB, 2),
+                "dyn_fallback_no_reuse_gib": round(fallback_without / GIB, 2),
+                "dyn_fallback_with_reuse_gib": round(fallback_with / GIB, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Composition of allocation types (Qwen1.5-MoE)",
+        rows=rows,
+        notes=(
+            "Static allocations dominate total memory; enabling dynamic reuse shrinks the memory "
+            "that falls back to the caching allocator, most visibly under recomputation (Table 3)."
+        ),
+    )
+
+
+def _peak_bytes(requests) -> int:
+    events: list[tuple[int, int]] = []
+    for request in requests:
+        events.append((request.alloc_time, request.size))
+        events.append((request.free_time, -request.size))
+    events.sort()
+    live = peak = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak

@@ -1,0 +1,52 @@
+"""Simulated GPU memory substrate.
+
+The real STAlloc runs on NVIDIA/AMD GPUs and talks to ``cudaMalloc``,
+``cudaFree`` and the CUDA virtual-memory-management (VMM) driver API.  This
+package provides byte-accurate simulations of those interfaces:
+
+* :class:`~repro.gpu.device.Device` -- a GPU with a fixed memory capacity and
+  ``malloc``/``free`` physical allocation (the ``cudaMalloc`` analogue).
+* :class:`~repro.gpu.virtual_memory.VirtualMemoryManager` -- the
+  ``cuMemCreate`` / ``cuMemAddressReserve`` / ``cuMemMap`` analogue used by the
+  expandable-segments and GMLake-style allocators.
+* Device presets matching the paper's testbeds (A800-80GB, H200-141GB,
+  MI210-64GB).
+"""
+
+from repro.gpu.device import (
+    Device,
+    DeviceStats,
+    PhysicalAllocation,
+    a800_80gb,
+    h200_141gb,
+    mi210_64gb,
+)
+from repro.gpu.errors import (
+    DeviceError,
+    DoubleFreeError,
+    InvalidAddressError,
+    OutOfMemoryError,
+)
+from repro.gpu.virtual_memory import (
+    PhysicalHandle,
+    VirtualMapping,
+    VirtualMemoryManager,
+    VirtualRange,
+)
+
+__all__ = [
+    "Device",
+    "DeviceStats",
+    "PhysicalAllocation",
+    "a800_80gb",
+    "h200_141gb",
+    "mi210_64gb",
+    "DeviceError",
+    "OutOfMemoryError",
+    "DoubleFreeError",
+    "InvalidAddressError",
+    "PhysicalHandle",
+    "VirtualRange",
+    "VirtualMapping",
+    "VirtualMemoryManager",
+]

@@ -1,0 +1,45 @@
+"""Exceptions raised by the simulated GPU device and allocators."""
+
+from __future__ import annotations
+
+
+class DeviceError(Exception):
+    """Base class for all simulated-device errors."""
+
+
+class OutOfMemoryError(DeviceError):
+    """Raised when a request cannot be satisfied by the device's capacity.
+
+    This is the analogue of ``cudaErrorMemoryAllocation`` /
+    ``torch.cuda.OutOfMemoryError``.  The exception carries enough context to
+    produce the familiar "tried to allocate X, Y reserved, Z free" message.
+    """
+
+    def __init__(self, requested: int, capacity: int, in_use: int, message: str | None = None):
+        self.requested = int(requested)
+        self.capacity = int(capacity)
+        self.in_use = int(in_use)
+        if message is None:
+            free = self.capacity - self.in_use
+            message = (
+                f"out of memory: tried to allocate {self.requested} bytes, "
+                f"device capacity {self.capacity} bytes, "
+                f"{self.in_use} bytes in use, {free} bytes free"
+            )
+        super().__init__(message)
+
+
+class InvalidAddressError(DeviceError):
+    """Raised when freeing or mapping an address the device does not know."""
+
+
+class DoubleFreeError(DeviceError):
+    """Raised when an allocation is freed twice."""
+
+
+class AllocatorError(Exception):
+    """Base class for allocator-level (not device-level) failures."""
+
+
+class PlanMismatchError(AllocatorError):
+    """Raised when a runtime request cannot be matched against the static plan."""

@@ -1,0 +1,18 @@
+"""Trace replay, memory metrics, and the analytical throughput model."""
+
+from repro.simulator.metrics import MemoryMetrics
+from repro.simulator.replay import ReplayResult, replay_trace
+from repro.simulator.runner import WorkloadRun, run_workload, run_workload_suite
+from repro.simulator.throughput import GPUSpec, ThroughputModel, GPU_SPECS
+
+__all__ = [
+    "MemoryMetrics",
+    "ReplayResult",
+    "replay_trace",
+    "WorkloadRun",
+    "run_workload",
+    "run_workload_suite",
+    "GPUSpec",
+    "GPU_SPECS",
+    "ThroughputModel",
+]

@@ -1,0 +1,71 @@
+"""Memory-efficiency metrics (§2.2).
+
+The paper's central metric is memory efficiency ``E = M_a / M_r`` where
+``M_a`` is the peak allocated (theoretically required) memory and ``M_r`` the
+peak memory reserved by the allocator.  The fragmentation ratio is ``1 - E``
+and the fragmentation bytes are ``M_r - M_a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import GIB
+
+
+@dataclass(frozen=True)
+class MemoryMetrics:
+    """Peak memory accounting of one replay."""
+
+    peak_allocated_bytes: int
+    peak_reserved_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.peak_allocated_bytes < 0 or self.peak_reserved_bytes < 0:
+            raise ValueError("peak byte counts must be non-negative")
+
+    @property
+    def memory_efficiency(self) -> float:
+        """``E = M_a / M_r`` (defined as 1.0 when nothing was reserved)."""
+        if self.peak_reserved_bytes == 0:
+            return 1.0
+        return min(1.0, self.peak_allocated_bytes / self.peak_reserved_bytes)
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        """Fraction of reserved memory wasted: ``1 - E``."""
+        return 1.0 - self.memory_efficiency
+
+    @property
+    def fragmentation_bytes(self) -> int:
+        """Reserved-but-unusable bytes at the peak: ``M_r - M_a``."""
+        return max(0, self.peak_reserved_bytes - self.peak_allocated_bytes)
+
+    @property
+    def peak_allocated_gib(self) -> float:
+        return self.peak_allocated_bytes / GIB
+
+    @property
+    def peak_reserved_gib(self) -> float:
+        return self.peak_reserved_bytes / GIB
+
+    @property
+    def fragmentation_gib(self) -> float:
+        return self.fragmentation_bytes / GIB
+
+    def as_dict(self) -> dict:
+        return {
+            "peak_allocated_gib": round(self.peak_allocated_gib, 3),
+            "peak_reserved_gib": round(self.peak_reserved_gib, 3),
+            "memory_efficiency": round(self.memory_efficiency, 4),
+            "fragmentation_ratio": round(self.fragmentation_ratio, 4),
+            "fragmentation_gib": round(self.fragmentation_gib, 3),
+        }
+
+
+def fragmentation_reduction(baseline: MemoryMetrics, improved: MemoryMetrics) -> float:
+    """Relative reduction of fragmentation bytes (the paper's "reduces by X%")."""
+    if baseline.fragmentation_bytes == 0:
+        return 0.0
+    saved = baseline.fragmentation_bytes - improved.fragmentation_bytes
+    return saved / baseline.fragmentation_bytes

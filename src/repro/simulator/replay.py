@@ -1,0 +1,96 @@
+"""Replay an allocation trace against an allocator on a simulated device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.allocators.base import AllocationHints, Allocator
+from repro.gpu.errors import OutOfMemoryError
+from repro.simulator.metrics import MemoryMetrics
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one trace through one allocator."""
+
+    allocator_name: str
+    metrics: MemoryMetrics
+    success: bool = True
+    oom_at_event: int | None = None
+    oom_request_bytes: int = 0
+    events_replayed: int = 0
+    allocator_stats: dict = field(default_factory=dict)
+    overhead_seconds: float = 0.0
+
+    @property
+    def memory_efficiency(self) -> float:
+        return self.metrics.memory_efficiency
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        return self.metrics.fragmentation_ratio
+
+    def as_dict(self) -> dict:
+        data = {
+            "allocator": self.allocator_name,
+            "success": self.success,
+            "events_replayed": self.events_replayed,
+            "overhead_seconds": round(self.overhead_seconds, 4),
+        }
+        data.update(self.metrics.as_dict())
+        if not self.success:
+            data["oom_at_event"] = self.oom_at_event
+            data["oom_request_bytes"] = self.oom_request_bytes
+        return data
+
+
+def replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool = True) -> ReplayResult:
+    """Feed every event of ``trace`` to ``allocator`` and collect peak metrics.
+
+    When the allocator raises an out-of-memory error the replay stops (the
+    training job would have crashed) and the result is flagged unsuccessful;
+    peak metrics cover the portion replayed up to that point.
+    """
+    events_replayed = 0
+    oom_at_event: int | None = None
+    oom_request_bytes = 0
+    failed_requests: set[int] = set()
+    for index, event in enumerate(trace.events):
+        try:
+            if event.is_alloc():
+                hints = AllocationHints(
+                    phase=event.phase,
+                    module=event.module,
+                    dyn=event.dyn,
+                    category=event.category,
+                )
+                allocator.allocate(event.req_id, event.size, hints)
+            else:
+                if event.req_id in failed_requests:
+                    continue
+                allocator.free(event.req_id)
+        except OutOfMemoryError:
+            if oom_at_event is None:
+                oom_at_event = index
+                oom_request_bytes = event.size
+            failed_requests.add(event.req_id)
+            if stop_on_oom:
+                break
+            continue
+        events_replayed += 1
+
+    metrics = MemoryMetrics(
+        peak_allocated_bytes=allocator.stats.peak_allocated,
+        peak_reserved_bytes=allocator.stats.peak_reserved,
+    )
+    return ReplayResult(
+        allocator_name=allocator.name,
+        metrics=metrics,
+        success=oom_at_event is None,
+        oom_at_event=oom_at_event,
+        oom_request_bytes=oom_request_bytes,
+        events_replayed=events_replayed,
+        allocator_stats=allocator.stats.snapshot(),
+        overhead_seconds=allocator.overhead_seconds(),
+    )

@@ -1,0 +1,181 @@
+"""High-level experiment runner: generate a trace, run allocators, report.
+
+The experiments in :mod:`repro.experiments` all follow the same recipe:
+
+1. build a :class:`TrainingConfig`,
+2. generate its allocation trace,
+3. replay the trace through one or more allocators on a fresh device,
+4. compute memory-efficiency metrics (and optionally throughput).
+
+This module implements that recipe once, including STAlloc's extra offline
+step (profile + plan synthesis before the replay), plus a small trace cache so
+sweeping five allocators over one configuration only generates the trace once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.allocators.base import Allocator
+from repro.allocators.registry import available_allocators, create_allocator
+from repro.core.stalloc import STAlloc, STAllocConfig
+from repro.gpu.device import Device, GIB
+from repro.simulator.replay import ReplayResult, replay_trace
+from repro.simulator.throughput import GPU_SPECS, ThroughputModel
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import TraceGenerator
+from repro.workloads.training import TrainingConfig
+
+#: Name under which STAlloc appears in experiment tables.
+STALLOC = "stalloc"
+#: STAlloc with the dynamic-reuse path disabled (the §9.4 ablation).
+STALLOC_NO_REUSE = "stalloc_no_reuse"
+
+
+@dataclass
+class WorkloadRun:
+    """One (configuration, allocator) measurement."""
+
+    config: TrainingConfig
+    allocator_name: str
+    replay: ReplayResult
+    device_name: str
+    tflops: float | None = None
+    planning_report: dict = field(default_factory=dict)
+
+    @property
+    def memory_efficiency(self) -> float:
+        return self.replay.memory_efficiency
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        return self.replay.fragmentation_ratio
+
+    @property
+    def success(self) -> bool:
+        return self.replay.success
+
+    def as_dict(self) -> dict:
+        data = {
+            "config": self.config.describe(),
+            "device": self.device_name,
+        }
+        data.update(self.replay.as_dict())
+        if self.tflops is not None:
+            data["tflops_per_gpu"] = round(self.tflops, 1)
+        return data
+
+
+class _TraceCache:
+    """Memoises generated traces keyed by (config description, seed, scale)."""
+
+    def __init__(self) -> None:
+        self._traces: dict[tuple, Trace] = {}
+
+    def get(self, config: TrainingConfig, *, seed: int, scale: float) -> Trace:
+        key = (config.describe(), seed, scale)
+        if key not in self._traces:
+            self._traces[key] = TraceGenerator(config, seed=seed, scale=scale).generate()
+        return self._traces[key]
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+_TRACE_CACHE = _TraceCache()
+
+
+def clear_trace_cache() -> None:
+    """Drop memoised traces (tests use this to control memory)."""
+    _TRACE_CACHE.clear()
+
+
+def generate_trace(config: TrainingConfig, *, seed: int = 0, scale: float = 1.0) -> Trace:
+    """Generate (or fetch from cache) the allocation trace of a configuration."""
+    return _TRACE_CACHE.get(config, seed=seed, scale=scale)
+
+
+def _build_allocator(name: str, device: Device, trace: Trace) -> tuple[Allocator, dict]:
+    """Instantiate an allocator by name, handling STAlloc's offline pipeline."""
+    if name == STALLOC:
+        stalloc = STAlloc.from_trace(trace)
+        return stalloc.build_runtime_allocator(device), stalloc.planning_report()
+    if name == STALLOC_NO_REUSE:
+        stalloc = STAlloc.from_trace(trace, STAllocConfig(enable_dynamic_reuse=False))
+        return stalloc.build_runtime_allocator(device), stalloc.planning_report()
+    return create_allocator(name, device), {}
+
+
+def run_workload(
+    config: TrainingConfig,
+    allocator_name: str,
+    *,
+    device_name: str = "A800-80GB",
+    device_capacity_gib: float | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    with_throughput: bool = False,
+    trace: Trace | None = None,
+) -> WorkloadRun:
+    """Run one configuration through one allocator and collect metrics."""
+    if trace is None:
+        trace = generate_trace(config, seed=seed, scale=scale)
+    gpu = GPU_SPECS.get(device_name)
+    capacity_gib = device_capacity_gib if device_capacity_gib is not None else (
+        gpu.memory_gib if gpu else 80
+    )
+    device = Device(name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0)
+    allocator, planning_report = _build_allocator(allocator_name, device, trace)
+    replay = replay_trace(trace, allocator)
+    tflops = None
+    if with_throughput and gpu is not None:
+        model = ThroughputModel(gpu)
+        tflops = model.tflops(config, allocator_overhead_seconds=replay.overhead_seconds)
+    return WorkloadRun(
+        config=config,
+        allocator_name=allocator_name,
+        replay=replay,
+        device_name=device_name,
+        tflops=tflops,
+        planning_report=planning_report,
+    )
+
+
+def run_workload_suite(
+    config: TrainingConfig,
+    allocator_names: list[str],
+    *,
+    device_name: str = "A800-80GB",
+    device_capacity_gib: float | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    with_throughput: bool = False,
+) -> dict[str, WorkloadRun]:
+    """Run one configuration through several allocators, sharing the trace."""
+    trace = generate_trace(config, seed=seed, scale=scale)
+    runs: dict[str, WorkloadRun] = {}
+    for name in allocator_names:
+        runs[name] = run_workload(
+            config,
+            name,
+            device_name=device_name,
+            device_capacity_gib=device_capacity_gib,
+            seed=seed,
+            scale=scale,
+            with_throughput=with_throughput,
+            trace=trace,
+        )
+    return runs
+
+
+def default_allocator_lineup(*, include_stalloc: bool = True) -> list[str]:
+    """The Figure 8 allocator line-up in presentation order."""
+    lineup = ["torch2.0", "gmlake", "torch2.3", "torch_es"]
+    if include_stalloc:
+        lineup.append(STALLOC)
+    return lineup
+
+
+def all_known_allocators() -> list[str]:
+    """Registry allocators plus the STAlloc variants handled by this runner."""
+    return available_allocators() + [STALLOC, STALLOC_NO_REUSE]

@@ -1,0 +1,165 @@
+"""Analytical training-throughput model.
+
+The paper's throughput results come from two effects:
+
+1. the *configuration* chosen (pipeline schedule, tensor-parallel degree,
+   recomputation, offloading) -- which is exactly what fragmentation forces
+   developers to change when a high-throughput configuration OOMs;
+2. the *allocator's own runtime overhead* (driver calls, virtual-memory
+   operations) added to every iteration.
+
+This module models both analytically: model FLOPs per iteration, a per-GPU
+achievable-FLOPS ceiling, pipeline-bubble and parallelism penalties, plus the
+allocator overhead measured during replay.  Absolute TFLOPS numbers are
+indicative; what the reproduction preserves is the ordering and rough
+magnitude of the differences between configurations and allocators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.training import TrainingConfig
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Compute capability of one accelerator."""
+
+    name: str
+    peak_tflops: float       # dense BF16 peak
+    achievable_mfu: float    # model FLOPs utilisation of a well-tuned run
+    memory_gib: int
+
+    @property
+    def achievable_flops(self) -> float:
+        return self.peak_tflops * 1e12 * self.achievable_mfu
+
+
+GPU_SPECS: dict[str, GPUSpec] = {
+    "A800-80GB": GPUSpec("A800-80GB", peak_tflops=312.0, achievable_mfu=0.52, memory_gib=80),
+    "H200-141GB": GPUSpec("H200-141GB", peak_tflops=989.0, achievable_mfu=0.47, memory_gib=141),
+    "MI210-64GB": GPUSpec("MI210-64GB", peak_tflops=181.0, achievable_mfu=0.45, memory_gib=64),
+}
+
+
+@dataclass
+class ThroughputEstimate:
+    """Per-iteration timing and the derived per-GPU TFLOPS."""
+
+    iteration_seconds: float
+    model_flops_per_iteration: float
+    num_gpus: int
+    allocator_overhead_seconds: float = 0.0
+
+    @property
+    def tflops_per_gpu(self) -> float:
+        """Model-FLOPs throughput per GPU (the number frameworks report)."""
+        total_time = self.iteration_seconds + self.allocator_overhead_seconds
+        if total_time <= 0:
+            return 0.0
+        return self.model_flops_per_iteration / self.num_gpus / total_time / 1e12
+
+    @property
+    def tokens_per_second(self) -> float:
+        return 0.0 if self.iteration_seconds <= 0 else 1.0 / self.iteration_seconds
+
+
+class ThroughputModel:
+    """Analytical step-time model for one training configuration."""
+
+    #: Extra compute fraction from full activation recomputation (~1 forward).
+    RECOMPUTE_OVERHEAD = 1.0 / 3.0
+    #: Per-doubling penalty of tensor-parallel communication.
+    TP_PENALTY_PER_DOUBLING = 0.055
+    #: Multiplier applied when activations are offloaded to host memory.
+    OFFLOAD_PENALTY = 1.30
+    #: Multiplier for the distributed optimizer's extra communication.
+    ZERO_PENALTY = 1.02
+
+    def __init__(self, gpu: GPUSpec):
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------ #
+    # FLOPs accounting
+    # ------------------------------------------------------------------ #
+    def model_flops_per_iteration(self, config: TrainingConfig) -> float:
+        """Model FLOPs of one optimizer step across the whole job.
+
+        Uses the standard ``6 * active_params * tokens`` estimate plus the
+        quadratic attention term, and excludes recomputation (so recompute
+        configurations show the expected drop in *reported* TFLOPS).
+        """
+        model = config.model
+        tokens = config.tokens_per_iteration
+        dense = 6.0 * model.active_params() * tokens
+        attention = (
+            12.0
+            * model.num_layers
+            * model.hidden_size
+            * config.sequence_length
+            * tokens
+        )
+        return dense + attention
+
+    # ------------------------------------------------------------------ #
+    # Step-time model
+    # ------------------------------------------------------------------ #
+    def pipeline_bubble_fraction(self, config: TrainingConfig) -> float:
+        """Fraction of the iteration the first stage idles in pipeline bubbles."""
+        stages = config.parallelism.pipeline_parallel
+        if stages <= 1:
+            return 0.0
+        chunks = config.parallelism.virtual_pipeline_chunks
+        microbatches = config.num_microbatches
+        return (stages - 1) / (chunks * microbatches + stages - 1)
+
+    def compute_multiplier(self, config: TrainingConfig) -> float:
+        """Extra hardware compute relative to model FLOPs (recompute etc.)."""
+        multiplier = 1.0
+        if config.recompute:
+            multiplier += self.RECOMPUTE_OVERHEAD
+        return multiplier
+
+    def communication_multiplier(self, config: TrainingConfig) -> float:
+        """Slowdown from tensor-parallel / ZeRO / offload communication."""
+        multiplier = 1.0
+        tp = config.parallelism.tensor_parallel
+        if tp > 1:
+            multiplier *= 1.0 + self.TP_PENALTY_PER_DOUBLING * math.log2(tp)
+        if config.uses_distributed_optimizer:
+            multiplier *= self.ZERO_PENALTY
+        if config.offload_activations:
+            multiplier *= self.OFFLOAD_PENALTY
+        return multiplier
+
+    def estimate(
+        self,
+        config: TrainingConfig,
+        *,
+        allocator_overhead_seconds: float = 0.0,
+        num_gpus: int | None = None,
+    ) -> ThroughputEstimate:
+        """Estimate one iteration's duration and throughput."""
+        num_gpus = num_gpus or config.parallelism.num_gpus
+        model_flops = self.model_flops_per_iteration(config)
+        per_gpu_flops = model_flops / num_gpus
+        compute_seconds = (
+            per_gpu_flops * self.compute_multiplier(config) / self.gpu.achievable_flops
+        )
+        bubble = self.pipeline_bubble_fraction(config)
+        pipeline_seconds = compute_seconds / max(1e-9, (1.0 - bubble))
+        iteration_seconds = pipeline_seconds * self.communication_multiplier(config)
+        return ThroughputEstimate(
+            iteration_seconds=iteration_seconds,
+            model_flops_per_iteration=model_flops,
+            num_gpus=num_gpus,
+            allocator_overhead_seconds=allocator_overhead_seconds,
+        )
+
+    def tflops(self, config: TrainingConfig, *, allocator_overhead_seconds: float = 0.0) -> float:
+        """Convenience wrapper returning per-GPU model TFLOPS."""
+        return self.estimate(
+            config, allocator_overhead_seconds=allocator_overhead_seconds
+        ).tflops_per_gpu

@@ -1,0 +1,36 @@
+"""LLM training workload models and allocation-trace generation.
+
+The paper evaluates STAlloc on traces produced by Megatron-LM / Colossal-AI
+training real models on real GPUs.  The allocator, however, only ever sees the
+stream of ``malloc``/``free`` requests; this package generates that stream
+analytically from a model configuration, a parallelism configuration and the
+chosen training optimizations, reproducing the spatial regularity (a few dozen
+distinct sizes), temporal regularity (persistent / scoped / transient
+lifespans) and the perturbations introduced by virtual pipelining,
+recomputation, offloading, ZeRO and MoE routing.
+"""
+
+from repro.workloads.model_config import ModelConfig
+from repro.workloads.models import MODEL_REGISTRY, get_model
+from repro.workloads.moe import ExpertRouter
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.schedule import PhaseSpec, build_schedule
+from repro.workloads.trace import Trace, TraceMetadata
+from repro.workloads.tracegen import TraceGenerator
+from repro.workloads.training import OPTIMIZATION_PRESETS, TrainingConfig, preset_config
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model",
+    "ParallelismConfig",
+    "TrainingConfig",
+    "OPTIMIZATION_PRESETS",
+    "preset_config",
+    "PhaseSpec",
+    "build_schedule",
+    "ExpertRouter",
+    "Trace",
+    "TraceMetadata",
+    "TraceGenerator",
+]

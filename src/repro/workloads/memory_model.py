@@ -1,0 +1,305 @@
+"""Per-rank tensor-size model for transformer training.
+
+Given a :class:`~repro.workloads.training.TrainingConfig`, this module
+computes the byte sizes of the tensors one pipeline rank materialises during a
+training iteration:
+
+* persistent tensors -- per-layer weight/gradient/optimizer-state chunks plus
+  embeddings (allocated once, live for the whole run);
+* scoped activation tensors -- produced in a micro-batch's forward pass and
+  kept until the matching backward pass;
+* transient tensors -- operator workspaces and backward temporaries freed
+  within the phase that created them;
+* MoE expert tensors -- whose sizes depend on runtime token routing and are
+  therefore *dynamic*.
+
+The tensor inventory intentionally mirrors a Megatron-style layer so that the
+number of *distinct* sizes per configuration stays small (a few dozen), which
+is exactly the spatial regularity STAlloc exploits (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import TensorCategory
+from repro.workloads.training import TrainingConfig
+
+#: bytes per element for activations (bf16).
+ACT_BYTES = 2
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """One tensor the workload will allocate."""
+
+    tag: str
+    size: int
+    category: TensorCategory
+    saved_for_backward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"tensor {self.tag!r} has non-positive size {self.size}")
+
+
+def _round512(size: float) -> int:
+    """Tensor allocations surface as 512-byte aligned requests in PyTorch."""
+    size = int(size)
+    return max(512, ((size + 511) // 512) * 512)
+
+
+class MemoryModel:
+    """Computes tensor sizes for one pipeline rank of a training config."""
+
+    def __init__(self, config: TrainingConfig, *, rank: int = 0):
+        self.config = config
+        self.model = config.model
+        self.parallelism = config.parallelism
+        self.rank = rank
+
+    # ------------------------------------------------------------------ #
+    # Shorthand
+    # ------------------------------------------------------------------ #
+    @property
+    def tp(self) -> int:
+        return self.parallelism.tensor_parallel
+
+    @property
+    def dp(self) -> int:
+        return self.parallelism.data_parallel
+
+    @property
+    def ep(self) -> int:
+        return self.parallelism.expert_parallel
+
+    @property
+    def tokens(self) -> int:
+        """Tokens in one micro-batch on this rank."""
+        return self.config.micro_batch_size * self.config.sequence_length
+
+    @property
+    def num_local_experts(self) -> int:
+        if not self.model.is_moe:
+            return 0
+        return max(1, self.model.num_experts // self.ep)
+
+    # ------------------------------------------------------------------ #
+    # Persistent tensors
+    # ------------------------------------------------------------------ #
+    def layer_weight_bytes(self) -> int:
+        """Parameter bytes of one transformer layer on this rank."""
+        attention = self.model.attention_params() / self.tp
+        norms = 2 * self.model.hidden_size
+        if self.model.is_moe:
+            mlp = (
+                self.model.hidden_size * self.model.num_experts  # router (replicated)
+                + self.num_local_experts * self.model.expert_params()
+            )
+            if self.model.moe_shared_expert_ffn:
+                h, f = self.model.hidden_size, self.model.moe_shared_expert_ffn
+                mlp += ((2 if self.model.gated_mlp else 1) * h * f + f * h) / self.tp
+        else:
+            mlp = self.model.mlp_params() / self.tp
+        params = attention + mlp + norms
+        return _round512(params * self.config.param_dtype_bytes)
+
+    def layer_grad_bytes(self) -> int:
+        """Main-gradient bytes of one layer (fp32, optionally ZeRO-2 sharded)."""
+        weight_params = self.layer_weight_bytes() / self.config.param_dtype_bytes
+        grads = weight_params * self.config.grad_dtype_bytes
+        if self.config.zero_stage >= 2:
+            grads /= self.dp
+        return _round512(grads)
+
+    def layer_optimizer_bytes(self) -> int:
+        """Adam state bytes of one layer (sharded under the distributed optimizer)."""
+        weight_params = self.layer_weight_bytes() / self.config.param_dtype_bytes
+        states = weight_params * self.config.optimizer_bytes_per_param
+        if self.config.uses_distributed_optimizer:
+            states /= self.dp
+        return _round512(states)
+
+    def embedding_bytes(self) -> int:
+        """Embedding parameter bytes on the first pipeline stage."""
+        params = self.model.vocab_size * self.model.hidden_size / self.tp
+        return _round512(params * self.config.param_dtype_bytes)
+
+    def persistent_tensors(self) -> list[TensorSpec]:
+        """Weights, gradients and optimizer states allocated at start-up."""
+        specs: list[TensorSpec] = []
+        layers = self.parallelism.layers_per_rank(self.model.num_layers)
+        if self.rank == 0:
+            embedding = self.embedding_bytes()
+            specs.append(TensorSpec("embedding.weight", embedding, TensorCategory.WEIGHT))
+            specs.append(
+                TensorSpec(
+                    "embedding.grad",
+                    _round512(embedding * self.config.grad_dtype_bytes / self.config.param_dtype_bytes),
+                    TensorCategory.GRADIENT,
+                )
+            )
+        weight = self.layer_weight_bytes()
+        grad = self.layer_grad_bytes()
+        optim = self.layer_optimizer_bytes()
+        for layer in range(layers):
+            specs.append(TensorSpec(f"layer{layer}.weight", weight, TensorCategory.WEIGHT))
+            specs.append(TensorSpec(f"layer{layer}.grad", grad, TensorCategory.GRADIENT))
+            specs.append(TensorSpec(f"layer{layer}.optim", optim, TensorCategory.OPTIMIZER_STATE))
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # Activation tensors of one dense transformer layer
+    # ------------------------------------------------------------------ #
+    def saved_activation_tensors(self) -> list[TensorSpec]:
+        """Activations a dense layer saves for its backward pass (per micro-batch)."""
+        n, h, f, t = self.tokens, self.model.hidden_size, self.model.ffn_hidden_size, self.tp
+        gated = 2 if self.model.gated_mlp else 1
+        specs = [
+            TensorSpec("ln1_out", _round512(n * h * ACT_BYTES), TensorCategory.ACTIVATION, True),
+            TensorSpec("qkv_proj", _round512(3 * n * h * ACT_BYTES / t), TensorCategory.ACTIVATION, True),
+            TensorSpec("attn_context", _round512(n * h * ACT_BYTES / t), TensorCategory.ACTIVATION, True),
+            TensorSpec("attn_proj_out", _round512(n * h * ACT_BYTES), TensorCategory.ACTIVATION, True),
+            TensorSpec("ln2_out", _round512(n * h * ACT_BYTES), TensorCategory.ACTIVATION, True),
+            TensorSpec("mlp_up", _round512(gated * n * f * ACT_BYTES / t), TensorCategory.ACTIVATION, True),
+            TensorSpec("mlp_act", _round512(n * f * ACT_BYTES / t), TensorCategory.ACTIVATION, True),
+            TensorSpec("mlp_down_out", _round512(n * h * ACT_BYTES), TensorCategory.ACTIVATION, True),
+            TensorSpec("dropout_mask", _round512(n * h), TensorCategory.ACTIVATION, True),
+            # Flash-attention softmax statistics (log-sum-exp), small but kept
+            # until backward -- a classic "pinning" tensor for online allocators.
+            TensorSpec(
+                "attn_softmax_lse",
+                _round512(n * self.model.num_attention_heads * 4 / t),
+                TensorCategory.ACTIVATION,
+                True,
+            ),
+        ]
+        return specs
+
+    def recompute_checkpoint_tensors(self) -> list[TensorSpec]:
+        """What survives the forward pass under full recomputation: the layer input."""
+        n, h = self.tokens, self.model.hidden_size
+        return [
+            TensorSpec("layer_input_ckpt", _round512(n * h * ACT_BYTES), TensorCategory.ACTIVATION, True)
+        ]
+
+    def forward_transient_tensors(self) -> list[TensorSpec]:
+        """Operator workspaces freed within the forward pass of a layer."""
+        n, h, f, t = self.tokens, self.model.hidden_size, self.model.ffn_hidden_size, self.tp
+        return [
+            TensorSpec("attn_tmp", _round512(n * h * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("mlp_tmp", _round512(n * f * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("residual_tmp", _round512(n * h * ACT_BYTES), TensorCategory.TEMPORARY),
+        ]
+
+    def backward_transient_tensors(self) -> list[TensorSpec]:
+        """Gradient temporaries freed within the backward pass of a layer."""
+        n, h, f, t = self.tokens, self.model.hidden_size, self.model.ffn_hidden_size, self.tp
+        return [
+            TensorSpec("dgrad_hidden", _round512(n * h * ACT_BYTES), TensorCategory.TEMPORARY),
+            TensorSpec("dgrad_ffn", _round512(n * f * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("dgrad_qkv", _round512(3 * n * h * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("wgrad_tmp", _round512(n * h * ACT_BYTES), TensorCategory.TEMPORARY),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Embedding / pipeline-boundary activations
+    # ------------------------------------------------------------------ #
+    def embedding_activation(self) -> TensorSpec:
+        """Output of the embedding lookup on the first stage (per micro-batch)."""
+        size = _round512(self.tokens * self.model.hidden_size * ACT_BYTES)
+        return TensorSpec("embedding_out", size, TensorCategory.ACTIVATION, True)
+
+    def pipeline_recv_buffer(self) -> TensorSpec:
+        """P2P activation receive buffer between pipeline stages."""
+        size = _round512(self.tokens * self.model.hidden_size * ACT_BYTES)
+        return TensorSpec("pp_recv_buffer", size, TensorCategory.COMM_BUFFER)
+
+    # ------------------------------------------------------------------ #
+    # MoE expert tensors (dynamic sizes)
+    # ------------------------------------------------------------------ #
+    def moe_static_tensors(self) -> list[TensorSpec]:
+        """Per-micro-batch MoE tensors whose sizes do not depend on routing."""
+        if not self.model.is_moe:
+            return []
+        n, h, e, k = self.tokens, self.model.hidden_size, self.model.num_experts, self.model.moe_top_k
+        specs = [
+            TensorSpec("router_logits", _round512(n * e * ACT_BYTES), TensorCategory.ACTIVATION, True),
+            TensorSpec("router_probs", _round512(n * k * 4), TensorCategory.ACTIVATION, True),
+            TensorSpec("dispatch_perm", _round512(n * k * h * ACT_BYTES), TensorCategory.ACTIVATION, True),
+        ]
+        if self.model.moe_shared_expert_ffn:
+            f = self.model.moe_shared_expert_ffn
+            gated = 2 if self.model.gated_mlp else 1
+            specs.append(
+                TensorSpec(
+                    "shared_expert_up",
+                    _round512(gated * n * f * ACT_BYTES / self.tp),
+                    TensorCategory.ACTIVATION,
+                    True,
+                )
+            )
+            specs.append(
+                TensorSpec(
+                    "shared_expert_out",
+                    _round512(n * h * ACT_BYTES),
+                    TensorCategory.ACTIVATION,
+                    True,
+                )
+            )
+        return specs
+
+    def expert_tensors(self, expert_index: int, expert_tokens: int) -> list[TensorSpec]:
+        """Dynamic tensors of one expert given the tokens routed to it."""
+        if expert_tokens <= 0:
+            return []
+        h = self.model.hidden_size
+        f = self.model.expert_ffn_hidden_size
+        gated = 2 if self.model.gated_mlp else 1
+        prefix = f"expert{expert_index}"
+        return [
+            TensorSpec(f"{prefix}_input", _round512(expert_tokens * h * ACT_BYTES),
+                       TensorCategory.EXPERT_ACTIVATION, True),
+            TensorSpec(f"{prefix}_up", _round512(gated * expert_tokens * f * ACT_BYTES),
+                       TensorCategory.EXPERT_ACTIVATION, True),
+            TensorSpec(f"{prefix}_act", _round512(expert_tokens * f * ACT_BYTES),
+                       TensorCategory.EXPERT_ACTIVATION, True),
+            TensorSpec(f"{prefix}_out", _round512(expert_tokens * h * ACT_BYTES),
+                       TensorCategory.EXPERT_ACTIVATION, True),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # ZeRO / distributed-optimizer communication buffers
+    # ------------------------------------------------------------------ #
+    def grad_bucket_bytes(self) -> int:
+        """Reduce-scatter bucket used during backward under ZeRO."""
+        layers = self.parallelism.layers_per_rank(self.model.num_layers)
+        layer_params = self.layer_weight_bytes() / self.config.param_dtype_bytes
+        bucket_layers = max(1, layers // 4)
+        return _round512(layer_params * bucket_layers * self.config.grad_dtype_bytes)
+
+    def param_gather_bytes(self) -> int:
+        """All-gather buffer used at the optimizer step under ZeRO."""
+        layers = self.parallelism.layers_per_rank(self.model.num_layers)
+        layer_params = self.layer_weight_bytes() / self.config.param_dtype_bytes
+        bucket_layers = max(1, layers // 4)
+        return _round512(layer_params * bucket_layers * self.config.param_dtype_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates used by experiments
+    # ------------------------------------------------------------------ #
+    def theoretical_persistent_bytes(self) -> int:
+        return sum(spec.size for spec in self.persistent_tensors())
+
+    def saved_bytes_per_microbatch(self) -> int:
+        """Scoped activation bytes one micro-batch keeps until its backward pass."""
+        if self.config.recompute:
+            per_layer = sum(s.size for s in self.recompute_checkpoint_tensors())
+        elif self.config.offload_activations:
+            per_layer = sum(s.size for s in self.recompute_checkpoint_tensors())
+        else:
+            per_layer = sum(s.size for s in self.saved_activation_tensors())
+            if self.model.is_moe:
+                per_layer += sum(s.size for s in self.moe_static_tensors())
+        layers = self.parallelism.layers_per_rank(self.model.num_layers)
+        return per_layer * layers + self.embedding_activation().size

@@ -1,0 +1,133 @@
+"""Registry of the models used in the paper's evaluation.
+
+Architecture hyper-parameters follow the public model cards / technical
+reports; small deviations do not matter for the reproduction as long as the
+resulting parameter counts and activation shapes are in the right regime.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.model_config import ModelConfig
+
+MODEL_REGISTRY: dict[str, ModelConfig] = {}
+
+
+def _register(config: ModelConfig) -> ModelConfig:
+    MODEL_REGISTRY[config.name] = config
+    return config
+
+
+GPT2_345M = _register(
+    ModelConfig(
+        name="gpt2-345m",
+        hidden_size=1024,
+        num_layers=24,
+        num_attention_heads=16,
+        ffn_hidden_size=4096,
+        vocab_size=50304,
+        seq_length=1024,
+        gated_mlp=False,
+        tie_embeddings=True,
+    )
+)
+
+LLAMA2_7B = _register(
+    ModelConfig(
+        name="llama2-7b",
+        hidden_size=4096,
+        num_layers=32,
+        num_attention_heads=32,
+        ffn_hidden_size=11008,
+        vocab_size=32000,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+    )
+)
+
+QWEN25_7B = _register(
+    ModelConfig(
+        name="qwen2.5-7b",
+        hidden_size=3584,
+        num_layers=28,
+        num_attention_heads=28,
+        num_query_groups=4,
+        ffn_hidden_size=18944,
+        vocab_size=152064,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+    )
+)
+
+QWEN25_14B = _register(
+    ModelConfig(
+        name="qwen2.5-14b",
+        hidden_size=5120,
+        num_layers=48,
+        num_attention_heads=40,
+        num_query_groups=8,
+        ffn_hidden_size=13824,
+        vocab_size=152064,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+    )
+)
+
+QWEN25_32B = _register(
+    ModelConfig(
+        name="qwen2.5-32b",
+        hidden_size=5120,
+        num_layers=64,
+        num_attention_heads=40,
+        num_query_groups=8,
+        ffn_hidden_size=27648,
+        vocab_size=152064,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+    )
+)
+
+QWEN25_72B = _register(
+    ModelConfig(
+        name="qwen2.5-72b",
+        hidden_size=8192,
+        num_layers=80,
+        num_attention_heads=64,
+        num_query_groups=8,
+        ffn_hidden_size=29568,
+        vocab_size=152064,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+    )
+)
+
+QWEN15_MOE_A27B = _register(
+    ModelConfig(
+        name="qwen1.5-moe-a2.7b",
+        hidden_size=2048,
+        num_layers=24,
+        num_attention_heads=16,
+        ffn_hidden_size=5632,
+        vocab_size=151936,
+        seq_length=4096,
+        gated_mlp=True,
+        tie_embeddings=False,
+        num_experts=60,
+        moe_top_k=4,
+        expert_ffn_hidden_size=1408,
+        moe_shared_expert_ffn=5632,
+    )
+)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by its registry name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(MODEL_REGISTRY))
+        raise ValueError(f"unknown model {name!r}; available: {available}") from None

@@ -1,0 +1,72 @@
+"""Mixture-of-Experts token-routing simulation.
+
+MoE layers decide *at runtime* how many tokens each expert processes, so the
+sizes of expert activation tensors are only known when the layer executes.
+This is the "dynamicity" STAlloc's dynamic allocator handles (§5.2/§6.2).
+
+The router here draws per-expert token counts from a seeded multinomial with a
+configurable imbalance factor, so traces are reproducible while still varying
+across micro-batches, layers and iterations exactly like a real gating
+network's output does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ExpertRouter:
+    """Deterministic (seeded) simulation of top-k token routing."""
+
+    def __init__(
+        self,
+        num_experts: int,
+        num_local_experts: int,
+        top_k: int,
+        *,
+        seed: int = 0,
+        imbalance: float = 0.3,
+    ):
+        if num_experts < 1 or num_local_experts < 1:
+            raise ValueError("num_experts and num_local_experts must be >= 1")
+        if num_local_experts > num_experts:
+            raise ValueError("num_local_experts cannot exceed num_experts")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if not 0.0 <= imbalance <= 1.0:
+            raise ValueError(f"imbalance must be in [0, 1], got {imbalance}")
+        self.num_experts = num_experts
+        self.num_local_experts = num_local_experts
+        self.top_k = top_k
+        self.imbalance = imbalance
+        self._rng = np.random.default_rng(seed)
+
+    def route(self, num_tokens: int, *, layer: int = 0, microbatch: int = 0) -> list[int]:
+        """Tokens assigned to each *local* expert for one layer execution.
+
+        The total routed load across all experts is ``num_tokens * top_k``
+        (every token selects ``top_k`` experts); this rank only sees the slice
+        destined for its local experts.  ``layer``/``microbatch`` perturb the
+        routing so different executions produce different (but reproducible)
+        splits.
+        """
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
+        if num_tokens == 0:
+            return [0] * self.num_local_experts
+        total_assignments = num_tokens * self.top_k
+        # Expected load per expert is uniform; the imbalance factor mixes in a
+        # random preference vector (a crude but effective stand-in for a real
+        # gating network's skew).
+        base = np.full(self.num_experts, 1.0 / self.num_experts)
+        preference = self._rng.dirichlet(np.full(self.num_experts, 2.0))
+        probabilities = (1.0 - self.imbalance) * base + self.imbalance * preference
+        probabilities = probabilities / probabilities.sum()
+        counts = self._rng.multinomial(total_assignments, probabilities)
+        local = counts[: self.num_local_experts]
+        return [int(count) for count in local]
+
+    def expected_local_tokens(self, num_tokens: int) -> int:
+        """Average number of token assignments landing on this rank's experts."""
+        per_expert = num_tokens * self.top_k / self.num_experts
+        return int(round(per_expert * self.num_local_experts))

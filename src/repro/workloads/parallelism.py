@@ -1,0 +1,78 @@
+"""Distributed-training parallelism configuration.
+
+Only the dimensions that affect a single rank's memory behaviour are modelled:
+tensor parallelism shrinks per-rank weights and partitionable activations,
+pipeline parallelism assigns a layer slice per stage and determines how many
+micro-batches are in flight, virtual pipelining multiplies the in-flight
+chunks, expert parallelism splits MoE experts, and data parallelism only
+matters through ZeRO-style optimizer-state sharding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Parallelism degrees for one training job."""
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+    expert_parallel: int = 1
+    virtual_pipeline_chunks: int = 1
+    sequence_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "tensor_parallel",
+            "pipeline_parallel",
+            "data_parallel",
+            "expert_parallel",
+            "virtual_pipeline_chunks",
+        ):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+        if self.virtual_pipeline_chunks > 1 and self.pipeline_parallel == 1:
+            raise ValueError("virtual pipeline requires pipeline_parallel > 1")
+
+    @property
+    def num_gpus(self) -> int:
+        """World size implied by the parallelism degrees."""
+        return self.tensor_parallel * self.pipeline_parallel * self.data_parallel
+
+    @property
+    def uses_virtual_pipeline(self) -> bool:
+        return self.virtual_pipeline_chunks > 1
+
+    def layers_per_rank(self, num_layers: int) -> int:
+        """Transformer layers held by one pipeline rank."""
+        if num_layers % self.pipeline_parallel:
+            raise ValueError(
+                f"num_layers ({num_layers}) must be divisible by pipeline_parallel "
+                f"({self.pipeline_parallel})"
+            )
+        return num_layers // self.pipeline_parallel
+
+    def layers_per_chunk(self, num_layers: int) -> int:
+        """Transformer layers in one virtual-pipeline model chunk on one rank."""
+        per_rank = self.layers_per_rank(num_layers)
+        if per_rank % self.virtual_pipeline_chunks:
+            raise ValueError(
+                f"layers per rank ({per_rank}) must be divisible by "
+                f"virtual_pipeline_chunks ({self.virtual_pipeline_chunks})"
+            )
+        return per_rank // self.virtual_pipeline_chunks
+
+    def describe(self) -> str:
+        """Compact label like ``TP2 PP4 DP2 VPP2``."""
+        parts = [f"TP{self.tensor_parallel}", f"PP{self.pipeline_parallel}", f"DP{self.data_parallel}"]
+        if self.expert_parallel > 1:
+            parts.append(f"EP{self.expert_parallel}")
+        if self.uses_virtual_pipeline:
+            parts.append(f"VPP{self.virtual_pipeline_chunks}")
+        if self.sequence_parallel:
+            parts.append("SP")
+        return " ".join(parts)

@@ -1,0 +1,111 @@
+"""Pipeline-parallel execution schedules.
+
+The allocation pattern of one rank is driven by the order in which it runs
+forward and backward passes of micro-batches (and, under virtual pipelining,
+of model chunks).  This module produces that order for:
+
+* ``1F1B`` (PipeDream-flush) -- the default Megatron-LM schedule;
+* the interleaved virtual-pipeline schedule, which keeps more micro-batch
+  chunks in flight and interleaves their allocations much more aggressively
+  (the paper's "V" optimization).
+
+Only the first pipeline stage is scheduled, because it holds the largest
+number of in-flight micro-batches and therefore the peak activation memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import PhaseKind
+from repro.workloads.parallelism import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One computation phase to be executed by the simulated rank."""
+
+    kind: PhaseKind
+    microbatch: int = -1
+    chunk: int = 0
+
+    def key(self) -> tuple:
+        return (self.kind, self.microbatch, self.chunk)
+
+
+def one_f_one_b(num_stages: int, num_microbatches: int) -> list[PhaseSpec]:
+    """1F1B schedule for pipeline stage 0.
+
+    Stage 0 runs ``min(p, m)`` warm-up forwards, then alternates backward /
+    forward in the steady state, then drains the remaining backwards.  The
+    peak number of in-flight micro-batches is ``min(p, m)``.
+    """
+    if num_stages < 1 or num_microbatches < 1:
+        raise ValueError("num_stages and num_microbatches must be >= 1")
+    warmup = min(num_stages, num_microbatches)
+    phases: list[PhaseSpec] = []
+    for microbatch in range(warmup):
+        phases.append(PhaseSpec(PhaseKind.FORWARD, microbatch))
+    for index in range(num_microbatches - warmup):
+        phases.append(PhaseSpec(PhaseKind.BACKWARD, index))
+        phases.append(PhaseSpec(PhaseKind.FORWARD, warmup + index))
+    for microbatch in range(max(0, num_microbatches - warmup), num_microbatches):
+        phases.append(PhaseSpec(PhaseKind.BACKWARD, microbatch))
+    return phases
+
+
+def interleaved_virtual_pipeline(
+    num_stages: int, num_microbatches: int, num_chunks: int
+) -> list[PhaseSpec]:
+    """Interleaved (virtual pipeline) schedule for stage 0.
+
+    Micro-batches are processed in groups of ``num_stages``; within a group the
+    schedule sweeps every virtual chunk before moving on, so activations of
+    ``~ num_stages * num_chunks`` (micro-batch, chunk) units are live at the
+    warm-up peak and forward/backward phases of different chunks interleave --
+    exactly the behaviour that complicates memory reuse in the paper.
+    """
+    if num_chunks < 2:
+        return one_f_one_b(num_stages, num_microbatches)
+    units: list[tuple[int, int]] = []  # (microbatch, chunk) in forward order
+    group = max(1, num_stages)
+    for group_start in range(0, num_microbatches, group):
+        group_mbs = range(group_start, min(group_start + group, num_microbatches))
+        for chunk in range(num_chunks):
+            for microbatch in group_mbs:
+                units.append((microbatch, chunk))
+
+    total_units = len(units)
+    warmup = min(total_units, num_stages * num_chunks)
+    phases: list[PhaseSpec] = []
+    for microbatch, chunk in units[:warmup]:
+        phases.append(PhaseSpec(PhaseKind.FORWARD, microbatch, chunk))
+    # Backwards retire units in the same order their forwards were issued
+    # (chunk-major within a group), which matches the interleaved schedule's
+    # first-in-first-out drain on stage 0.
+    for index in range(total_units - warmup):
+        microbatch, chunk = units[index]
+        phases.append(PhaseSpec(PhaseKind.BACKWARD, microbatch, chunk))
+        fwd_microbatch, fwd_chunk = units[warmup + index]
+        phases.append(PhaseSpec(PhaseKind.FORWARD, fwd_microbatch, fwd_chunk))
+    for microbatch, chunk in units[max(0, total_units - warmup):]:
+        phases.append(PhaseSpec(PhaseKind.BACKWARD, microbatch, chunk))
+    return phases
+
+
+def build_schedule(parallelism: ParallelismConfig, num_microbatches: int) -> list[PhaseSpec]:
+    """Forward/backward schedule for stage 0, with INIT and OPTIMIZER bracketing."""
+    stages = parallelism.pipeline_parallel
+    chunks = parallelism.virtual_pipeline_chunks
+    if chunks > 1:
+        body = interleaved_virtual_pipeline(stages, num_microbatches, chunks)
+    else:
+        body = one_f_one_b(stages, num_microbatches)
+    return [PhaseSpec(PhaseKind.INIT)] + body + [PhaseSpec(PhaseKind.OPTIMIZER)]
+
+
+def peak_in_flight_microbatches(parallelism: ParallelismConfig, num_microbatches: int) -> int:
+    """Upper bound on concurrently-live (micro-batch, chunk) activation sets."""
+    stages = parallelism.pipeline_parallel
+    chunks = parallelism.virtual_pipeline_chunks
+    return min(num_microbatches * chunks, stages * chunks)

@@ -1,0 +1,185 @@
+"""Allocation trace container and analysis helpers.
+
+A :class:`Trace` is the ordered list of allocation/free events one rank issues
+during a single training iteration, together with the metadata needed to
+interpret it.  It is the common currency of the repository: the workload
+generator produces traces, the profiler and plan synthesizer consume them, and
+the replay simulator feeds them to allocators.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.events import EventKind, MemoryRequest, Phase, PhaseKind, TensorCategory, TraceEvent, pair_events
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Descriptive information attached to a generated trace."""
+
+    model_name: str = ""
+    config_label: str = ""
+    description: str = ""
+    micro_batch_size: int = 0
+    num_microbatches: int = 0
+    parallelism: str = ""
+    seed: int = 0
+    scale: float = 1.0
+
+
+@dataclass
+class Trace:
+    """An ordered allocation/free event stream for one training iteration."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+    phases: list[Phase] = field(default_factory=list)
+    module_spans: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Basic statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_requests(self) -> int:
+        """Number of allocation requests (the paper's ``Num`` column in Table 2)."""
+        return sum(1 for event in self.events if event.is_alloc())
+
+    @property
+    def num_dynamic_requests(self) -> int:
+        return sum(1 for event in self.events if event.is_alloc() and event.dyn)
+
+    def allocation_sizes(self, *, min_size: int = 0) -> list[int]:
+        """Sizes of every allocation request at least ``min_size`` bytes."""
+        return [e.size for e in self.events if e.is_alloc() and e.size >= min_size]
+
+    def distinct_sizes(self, *, min_size: int = 512) -> int:
+        """Number of distinct allocation sizes (the Figure 3 statistic)."""
+        return len({e.size for e in self.events if e.is_alloc() and e.size > min_size})
+
+    def size_histogram(self, *, min_size: int = 0) -> Counter:
+        """size -> number of allocations of that size."""
+        return Counter(self.allocation_sizes(min_size=min_size))
+
+    def peak_allocated_bytes(self) -> int:
+        """Theoretical peak memory demand ``M_a`` of the trace."""
+        live = 0
+        peak = 0
+        for event in self.events:
+            if event.is_alloc():
+                live += event.size
+                peak = max(peak, live)
+            else:
+                live -= event.size
+        return peak
+
+    def total_allocated_bytes(self) -> int:
+        """Sum of all allocation sizes over the iteration."""
+        return sum(e.size for e in self.events if e.is_alloc())
+
+    def end_time(self) -> int:
+        return self.events[-1].time + 1 if self.events else 0
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def to_requests(self) -> list[MemoryRequest]:
+        """Pair alloc/free events into memory-request events (profiler view)."""
+        return pair_events(self.events, end_of_trace=self.end_time())
+
+    def static_dynamic_split(self) -> tuple[int, int]:
+        """(static bytes, dynamic bytes) of the iteration's allocations."""
+        static = sum(e.size for e in self.events if e.is_alloc() and not e.dyn)
+        dynamic = sum(e.size for e in self.events if e.is_alloc() and e.dyn)
+        return static, dynamic
+
+    def category_bytes(self) -> dict[str, int]:
+        """Total allocated bytes per tensor category."""
+        totals: dict[str, int] = {}
+        for event in self.events:
+            if event.is_alloc():
+                key = event.category.value
+                totals[key] = totals.get(key, 0) + event.size
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # Serialization (line-oriented JSON, mirroring the real profiler's logs)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines with a metadata header."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {
+                "metadata": asdict(self.metadata),
+                "module_spans": self.module_spans,
+                "phases": [
+                    {
+                        "index": p.index,
+                        "kind": p.kind.value,
+                        "microbatch": p.microbatch,
+                        "chunk": p.chunk,
+                    }
+                    for p in self.phases
+                ],
+            }
+            handle.write(json.dumps(header) + "\n")
+            for event in self.events:
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": event.kind.value,
+                            "req_id": event.req_id,
+                            "size": event.size,
+                            "time": event.time,
+                            "phase": event.phase.index,
+                            "module": event.module,
+                            "dyn": event.dyn,
+                            "category": event.category.value,
+                            "tag": event.tag,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            phases = [
+                Phase(
+                    index=entry["index"],
+                    kind=PhaseKind(entry["kind"]),
+                    microbatch=entry["microbatch"],
+                    chunk=entry["chunk"],
+                )
+                for entry in header["phases"]
+            ]
+            phase_by_index = {phase.index: phase for phase in phases}
+            events = []
+            for line in handle:
+                record = json.loads(line)
+                events.append(
+                    TraceEvent(
+                        kind=EventKind(record["kind"]),
+                        req_id=record["req_id"],
+                        size=record["size"],
+                        time=record["time"],
+                        phase=phase_by_index[record["phase"]],
+                        module=record["module"],
+                        dyn=record["dyn"],
+                        category=TensorCategory(record["category"]),
+                        tag=record["tag"],
+                    )
+                )
+        metadata = TraceMetadata(**header["metadata"])
+        module_spans = {name: tuple(span) for name, span in header["module_spans"].items()}
+        return cls(events=events, metadata=metadata, phases=phases, module_spans=module_spans)

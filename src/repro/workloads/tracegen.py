@@ -1,0 +1,490 @@
+"""Allocation-trace generation for one training iteration.
+
+:class:`TraceGenerator` walks the pipeline schedule of one rank and emits the
+allocation/free events its tensors would cause, reproducing the temporal
+classes the paper identifies (§2.3):
+
+* *persistent* tensors (weights, gradients, optimizer states) allocated during
+  initialisation and never freed within the iteration;
+* *scoped* tensors (saved activations) allocated in a micro-batch's forward
+  pass and freed, in reverse order, during its backward pass;
+* *transient* tensors (operator workspaces, recomputed activations, offloaded
+  activations, ZeRO communication buckets) freed inside the phase that
+  created them;
+* *dynamic* tensors (MoE expert activations) whose sizes depend on runtime
+  token routing and are tagged with their originating module so STAlloc can
+  form HomoLayer groups.
+
+The resulting event stream is what every allocator in this repository is
+evaluated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EventKind, Phase, PhaseKind, TensorCategory, TraceEvent
+from repro.workloads.memory_model import MemoryModel, TensorSpec
+from repro.workloads.moe import ExpertRouter
+from repro.workloads.schedule import PhaseSpec, build_schedule
+from repro.workloads.trace import Trace, TraceMetadata
+from repro.workloads.training import TrainingConfig
+
+
+@dataclass
+class _LiveTensor:
+    """Book-keeping for an allocation that is waiting to be freed."""
+
+    req_id: int
+    spec: TensorSpec
+    module: str = ""
+    dyn: bool = False
+    free_module: str = ""
+
+
+@dataclass
+class _ScopedSet:
+    """Scoped tensors of one (micro-batch, chunk), grouped by layer."""
+
+    by_layer: dict[int, list[_LiveTensor]] = field(default_factory=dict)
+    boundary: list[_LiveTensor] = field(default_factory=list)  # embedding / pp buffers
+
+    def add(self, layer: int, tensor: _LiveTensor) -> None:
+        self.by_layer.setdefault(layer, []).append(tensor)
+
+
+class TraceGenerator:
+    """Generates the allocation trace of one rank for one training iteration."""
+
+    #: Per-micro-batch size variation applied to activation and temporary
+    #: tensors.  Real traces show small size differences between micro-batches
+    #: (sample-dependent padding, fused-kernel workspace choices, alignment of
+    #: intermediate reductions); this is what prevents an online best-fit
+    #: allocator from perfectly recycling freed blocks and is the proximate
+    #: cause of the fragmentation the paper measures.  The jitter cycles over a
+    #: small set of factors so the number of distinct sizes stays in the few
+    #: dozen range the paper reports (Figure 3).
+    DEFAULT_SIZE_JITTER: tuple[float, ...] = (1.0, 0.9, 0.95, 0.85)
+
+    #: Number of layers by which transient frees lag their allocation.  Real
+    #: eager-mode training overlaps kernels, peer-to-peer transfers and
+    #: gradient reduction, so workspace tensors are released a little later
+    #: than strict nesting would suggest; this skew produces the interleaved
+    #: allocate/free pattern of Figure 1(a) that online allocators fragment on.
+    DEFAULT_ASYNC_FREE_SKEW = 2
+
+    def __init__(
+        self,
+        config: TrainingConfig,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        rank: int = 0,
+        size_jitter: tuple[float, ...] | None = None,
+        async_free_skew: int | None = None,
+    ):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self.config = config
+        self.memory = MemoryModel(config, rank=rank)
+        self.seed = seed
+        self.scale = scale
+        self.rank = rank
+        self.size_jitter = self.DEFAULT_SIZE_JITTER if size_jitter is None else tuple(size_jitter)
+        if not self.size_jitter or any(factor <= 0 for factor in self.size_jitter):
+            raise ValueError("size_jitter must contain positive factors")
+        self.async_free_skew = (
+            self.DEFAULT_ASYNC_FREE_SKEW if async_free_skew is None else int(async_free_skew)
+        )
+        if self.async_free_skew < 0:
+            raise ValueError("async_free_skew must be non-negative")
+        self._router: ExpertRouter | None = None
+        if config.model.is_moe:
+            self._router = ExpertRouter(
+                num_experts=config.model.num_experts,
+                num_local_experts=self.memory.num_local_experts,
+                top_k=config.model.moe_top_k,
+                seed=seed,
+            )
+        # Mutable generation state (reset on every generate() call).
+        self._events: list[TraceEvent] = []
+        self._phases: list[Phase] = []
+        self._clock = 0
+        self._next_req_id = 0
+        self._scoped: dict[tuple[int, int], _ScopedSet] = {}
+        self._offloaded: dict[tuple[int, int], dict[int, list[TensorSpec]]] = {}
+        self._expert_routing: dict[tuple[int, int, int], list[int]] = {}
+        self._module_spans: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Derived geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def layers_per_chunk(self) -> int:
+        full = self.config.parallelism.layers_per_chunk(self.config.model.num_layers)
+        return max(1, round(full * self.scale))
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Trace:
+        """Produce the allocation trace of one full training iteration."""
+        self._reset()
+        schedule = build_schedule(self.config.parallelism, self.config.num_microbatches)
+        for spec in schedule:
+            phase = self._new_phase(spec)
+            if spec.kind is PhaseKind.INIT:
+                self._emit_init(phase)
+            elif spec.kind is PhaseKind.FORWARD:
+                self._emit_forward(phase, spec)
+            elif spec.kind is PhaseKind.BACKWARD:
+                self._emit_backward(phase, spec)
+            elif spec.kind is PhaseKind.OPTIMIZER:
+                self._emit_optimizer(phase)
+        metadata = TraceMetadata(
+            model_name=self.config.model.name,
+            config_label=self.config.label or "custom",
+            description=self.config.describe(),
+            micro_batch_size=self.config.micro_batch_size,
+            num_microbatches=self.config.num_microbatches,
+            parallelism=self.config.parallelism.describe(),
+            seed=self.seed,
+            scale=self.scale,
+        )
+        module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
+        return Trace(
+            events=self._events,
+            metadata=metadata,
+            phases=self._phases,
+            module_spans=module_spans,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Low-level emission helpers
+    # ------------------------------------------------------------------ #
+    def _reset(self) -> None:
+        self._events = []
+        self._phases = []
+        self._clock = 0
+        self._next_req_id = 0
+        self._scoped = {}
+        self._offloaded = {}
+        self._expert_routing = {}
+        self._module_spans = {}
+        self._deferred: list[tuple[int, _LiveTensor]] = []
+        self._phase_step = 0
+
+    # ------------------------------------------------------------------ #
+    # Deferred (asynchronously skewed) transient frees
+    # ------------------------------------------------------------------ #
+    def _defer_frees(self, tensors: list[_LiveTensor]) -> None:
+        """Queue transient frees to be issued ``async_free_skew`` layers later."""
+        release_step = self._phase_step + self.async_free_skew
+        for tensor in reversed(tensors):
+            self._deferred.append((release_step, tensor))
+
+    def _flush_deferred(self, phase: Phase, *, everything: bool = False) -> None:
+        """Issue queued frees whose release step has been reached."""
+        remaining: list[tuple[int, _LiveTensor]] = []
+        for release_step, tensor in self._deferred:
+            if everything or release_step <= self._phase_step:
+                self._free(tensor, phase)
+            else:
+                remaining.append((release_step, tensor))
+        self._deferred = remaining
+
+    def _new_phase(self, spec: PhaseSpec) -> Phase:
+        phase = Phase(
+            index=len(self._phases),
+            kind=spec.kind,
+            microbatch=spec.microbatch,
+            chunk=spec.chunk,
+        )
+        self._phases.append(phase)
+        return phase
+
+    def _tick(self) -> int:
+        time = self._clock
+        self._clock += 1
+        return time
+
+    def _touch_module(self, module: str, time: int) -> None:
+        if not module:
+            return
+        span = self._module_spans.setdefault(module, [time, time])
+        span[0] = min(span[0], time)
+        span[1] = max(span[1], time)
+
+    def _jitter(self, spec: TensorSpec, microbatch: int) -> TensorSpec:
+        """Apply the per-micro-batch size variation to activation-like tensors."""
+        if spec.category not in (
+            TensorCategory.ACTIVATION,
+            TensorCategory.TEMPORARY,
+            TensorCategory.EXPERT_ACTIVATION,
+        ):
+            return spec
+        factor = self.size_jitter[microbatch % len(self.size_jitter)]
+        if factor == 1.0:
+            return spec
+        size = max(512, ((int(spec.size * factor) + 511) // 512) * 512)
+        return TensorSpec(spec.tag, size, spec.category, spec.saved_for_backward)
+
+    def _alloc(
+        self,
+        spec: TensorSpec,
+        phase: Phase,
+        *,
+        module: str = "",
+        dyn: bool = False,
+        free_module: str = "",
+    ) -> _LiveTensor:
+        if phase.microbatch >= 0:
+            spec = self._jitter(spec, phase.microbatch)
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        time = self._tick()
+        self._events.append(
+            TraceEvent(
+                kind=EventKind.ALLOC,
+                req_id=req_id,
+                size=spec.size,
+                time=time,
+                phase=phase,
+                module=module,
+                dyn=dyn,
+                category=spec.category,
+                tag=spec.tag,
+            )
+        )
+        self._touch_module(module, time)
+        return _LiveTensor(req_id=req_id, spec=spec, module=module, dyn=dyn, free_module=free_module)
+
+    def _free(self, tensor: _LiveTensor, phase: Phase, *, module: str | None = None) -> None:
+        free_module = module if module is not None else (tensor.free_module or tensor.module)
+        time = self._tick()
+        self._events.append(
+            TraceEvent(
+                kind=EventKind.FREE,
+                req_id=tensor.req_id,
+                size=tensor.spec.size,
+                time=time,
+                phase=phase,
+                module=free_module,
+                dyn=tensor.dyn,
+                category=tensor.spec.category,
+                tag=tensor.spec.tag,
+            )
+        )
+        self._touch_module(free_module, time)
+
+    # ------------------------------------------------------------------ #
+    # Phase bodies
+    # ------------------------------------------------------------------ #
+    def _emit_init(self, phase: Phase) -> None:
+        """Persistent tensors: weights, gradients, optimizer states."""
+        scale_layers = self.layers_per_chunk * self.config.parallelism.virtual_pipeline_chunks
+        full_layers = self.config.parallelism.layers_per_rank(self.config.model.num_layers)
+        for spec in self.memory.persistent_tensors():
+            # Respect the layer down-scaling knob: drop specs of layers that
+            # were scaled away so the persistent footprint shrinks alongside
+            # the activation footprint.
+            if spec.tag.startswith("layer"):
+                layer_index = int(spec.tag.split(".")[0][len("layer"):])
+                if layer_index >= scale_layers and full_layers > scale_layers:
+                    continue
+            if self.config.zero_stage >= 3 and spec.category is TensorCategory.WEIGHT:
+                sharded = TensorSpec(
+                    spec.tag,
+                    max(512, spec.size // self.memory.dp),
+                    spec.category,
+                )
+                self._alloc(sharded, phase)
+                continue
+            self._alloc(spec, phase)
+
+    def _dense_saved_specs(self) -> list[TensorSpec]:
+        """Saved activations of the non-expert part of one layer."""
+        specs = self.memory.saved_activation_tensors()
+        if self.config.model.is_moe:
+            specs = [s for s in specs if not s.tag.startswith("mlp")]
+        return specs
+
+    def _forward_layer(
+        self,
+        phase: Phase,
+        spec: PhaseSpec,
+        layer: int,
+        scoped: _ScopedSet,
+    ) -> None:
+        key = (spec.microbatch, spec.chunk)
+        module = f"mb{spec.microbatch}.c{spec.chunk}.layer{layer}"
+        transients: list[_LiveTensor] = []
+
+        # ZeRO-3 gathers the layer's full parameters just-in-time.
+        if self.config.zero_stage >= 3:
+            gathered = TensorSpec("zero3_gathered_params", self.memory.layer_weight_bytes(),
+                                  TensorCategory.COMM_BUFFER)
+            transients.append(self._alloc(gathered, phase))
+
+        # Operator workspaces.
+        for workspace in self.memory.forward_transient_tensors():
+            transients.append(self._alloc(workspace, phase))
+
+        # Saved activations (their fate depends on recomputation / offload).
+        saved_specs = self._dense_saved_specs()
+        if self.config.model.is_moe:
+            saved_specs = saved_specs + self.memory.moe_static_tensors()
+        if self.config.recompute or self.config.offload_activations:
+            checkpoint = self.memory.recompute_checkpoint_tensors()
+            for ckpt in checkpoint:
+                scoped.add(layer, self._alloc(ckpt, phase, module=module))
+            # The full activations still materialise during the forward pass,
+            # but are released (recompute) or offloaded before it ends.
+            for act in saved_specs:
+                transients.append(self._alloc(act, phase, module=module))
+        else:
+            for act in saved_specs:
+                scoped.add(layer, self._alloc(act, phase, module=module))
+
+        # MoE expert activations: dynamic sizes decided by token routing.
+        if self.config.model.is_moe and self._router is not None:
+            routing = self._router.route(
+                self.memory.tokens, layer=layer, microbatch=spec.microbatch
+            )
+            self._expert_routing[(spec.microbatch, spec.chunk, layer)] = routing
+            expert_module = f"{module}.experts"
+            grad_module = f"{module}.experts.grad"
+            for expert_index, expert_tokens in enumerate(routing):
+                for expert_spec in self.memory.expert_tensors(expert_index, expert_tokens):
+                    if self.config.recompute or self.config.offload_activations:
+                        transients.append(
+                            self._alloc(expert_spec, phase, module=expert_module, dyn=True)
+                        )
+                    else:
+                        scoped.add(
+                            layer,
+                            self._alloc(
+                                expert_spec,
+                                phase,
+                                module=expert_module,
+                                dyn=True,
+                                free_module=grad_module,
+                            ),
+                        )
+
+        # Transients die shortly after the layer finishes; the skewed release
+        # models asynchronous kernel / communication overlap.
+        self._defer_frees(transients)
+
+    def _emit_forward(self, phase: Phase, spec: PhaseSpec) -> None:
+        key = (spec.microbatch, spec.chunk)
+        scoped = self._scoped.setdefault(key, _ScopedSet())
+        self._phase_step = 0
+
+        # Pipeline-boundary activations only exist on chunk 0 of the stage.
+        if spec.chunk == 0:
+            boundary_spec = (
+                self.memory.embedding_activation()
+                if self.rank == 0
+                else self.memory.pipeline_recv_buffer()
+            )
+            scoped.boundary.append(self._alloc(boundary_spec, phase))
+
+        for layer in range(self.layers_per_chunk):
+            self._phase_step = layer
+            self._flush_deferred(phase)
+            self._forward_layer(phase, spec, layer, scoped)
+        self._flush_deferred(phase, everything=True)
+
+    def _backward_layer(
+        self,
+        phase: Phase,
+        spec: PhaseSpec,
+        layer: int,
+        scoped: _ScopedSet,
+    ) -> None:
+        module = f"mb{spec.microbatch}.c{spec.chunk}.layer{layer}"
+        grad_module = f"{module}.experts.grad"
+        transients: list[_LiveTensor] = []
+
+        # ZeRO-3 re-gathers parameters for the backward pass.
+        if self.config.zero_stage >= 3:
+            gathered = TensorSpec("zero3_gathered_params", self.memory.layer_weight_bytes(),
+                                  TensorCategory.COMM_BUFFER)
+            transients.append(self._alloc(gathered, phase))
+
+        # Recomputation / offload re-materialises the layer's activations.
+        if self.config.recompute or self.config.offload_activations:
+            for act in self._dense_saved_specs():
+                transients.append(self._alloc(act, phase, module=module))
+            if self.config.model.is_moe:
+                for static_spec in self.memory.moe_static_tensors():
+                    transients.append(self._alloc(static_spec, phase, module=module))
+                routing = self._expert_routing.get((spec.microbatch, spec.chunk, layer), [])
+                for expert_index, expert_tokens in enumerate(routing):
+                    for expert_spec in self.memory.expert_tensors(expert_index, expert_tokens):
+                        transients.append(
+                            self._alloc(expert_spec, phase, module=grad_module, dyn=True)
+                        )
+
+        # Gradient temporaries.
+        for workspace in self.memory.backward_transient_tensors():
+            transients.append(self._alloc(workspace, phase))
+
+        # Dynamic gradient temporaries of expert layers (sizes follow routing).
+        if self.config.model.is_moe and not (self.config.recompute or self.config.offload_activations):
+            routing = self._expert_routing.get((spec.microbatch, spec.chunk, layer), [])
+            for expert_index, expert_tokens in enumerate(routing):
+                if expert_tokens <= 0:
+                    continue
+                grad_spec = TensorSpec(
+                    f"expert{expert_index}_dgrad",
+                    max(512, expert_tokens * self.config.model.hidden_size * 2),
+                    TensorCategory.EXPERT_ACTIVATION,
+                )
+                transients.append(self._alloc(grad_spec, phase, module=grad_module, dyn=True))
+
+        self._defer_frees(transients)
+
+        # Finally release the scoped activations this layer saved in forward.
+        for tensor in reversed(scoped.by_layer.pop(layer, [])):
+            free_module = tensor.free_module or ""
+            self._free(tensor, phase, module=free_module)
+
+    def _emit_backward(self, phase: Phase, spec: PhaseSpec) -> None:
+        key = (spec.microbatch, spec.chunk)
+        scoped = self._scoped.get(key, _ScopedSet())
+        self._phase_step = 0
+
+        for step, layer in enumerate(reversed(range(self.layers_per_chunk))):
+            self._phase_step = step
+            self._flush_deferred(phase)
+            self._backward_layer(phase, spec, layer, scoped)
+        self._flush_deferred(phase, everything=True)
+
+        # Pipeline-boundary activations die once the whole chunk is done.
+        for tensor in reversed(scoped.boundary):
+            self._free(tensor, phase)
+        scoped.boundary.clear()
+
+        # ZeRO overlaps gradient reduce-scatter buckets with the last
+        # micro-batch's backward pass.
+        if self.config.uses_distributed_optimizer and spec.microbatch == self.config.num_microbatches - 1:
+            bucket = TensorSpec("grad_rs_bucket", self.memory.grad_bucket_bytes(),
+                                TensorCategory.COMM_BUFFER)
+            for _ in range(4):
+                tensor = self._alloc(bucket, phase)
+                self._free(tensor, phase)
+
+    def _emit_optimizer(self, phase: Phase) -> None:
+        if self.config.uses_distributed_optimizer:
+            gather = TensorSpec("param_allgather", self.memory.param_gather_bytes(),
+                                TensorCategory.COMM_BUFFER)
+            for _ in range(4):
+                tensor = self._alloc(gather, phase)
+                self._free(tensor, phase)
+        # Small step temporaries (grad-norm scalars, LR state, ...).
+        for _ in range(2):
+            scratch = TensorSpec("optimizer_scratch", 4 * 1024 * 1024, TensorCategory.TEMPORARY)
+            tensor = self._alloc(scratch, phase)
+            self._free(tensor, phase)

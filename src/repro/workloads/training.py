@@ -1,0 +1,128 @@
+"""Training-run configuration and the paper's optimization presets.
+
+A :class:`TrainingConfig` bundles the model, the parallelism layout and the
+memory-relevant training options (micro-batch size, recomputation, activation
+offloading, ZeRO stage, training framework).  The named presets match the
+x-axis of Figure 8: ``Naive``/``R``/``V``/``VR``/``ZR``/``ZOR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.workloads.model_config import ModelConfig
+from repro.workloads.parallelism import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Everything that determines one rank's allocation behaviour."""
+
+    model: ModelConfig
+    parallelism: ParallelismConfig = field(default_factory=ParallelismConfig)
+    micro_batch_size: int = 1
+    num_microbatches: int = 8
+    seq_length: int | None = None
+    recompute: bool = False
+    offload_activations: bool = False
+    zero_stage: int = 0
+    framework: str = "megatron"
+    param_dtype_bytes: int = 2
+    grad_dtype_bytes: int = 4
+    optimizer_bytes_per_param: int = 12
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        if self.num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        if self.zero_stage not in (0, 1, 2, 3):
+            raise ValueError(f"zero_stage must be 0-3, got {self.zero_stage}")
+        if self.framework not in ("megatron", "colossalai"):
+            raise ValueError(f"unknown framework {self.framework!r}")
+
+    @property
+    def sequence_length(self) -> int:
+        return self.seq_length if self.seq_length is not None else self.model.seq_length
+
+    @property
+    def tokens_per_microbatch(self) -> int:
+        return self.micro_batch_size * self.sequence_length
+
+    @property
+    def tokens_per_iteration(self) -> int:
+        """Tokens processed per iteration across the whole data-parallel group."""
+        return self.tokens_per_microbatch * self.num_microbatches * self.parallelism.data_parallel
+
+    @property
+    def uses_distributed_optimizer(self) -> bool:
+        return self.zero_stage >= 1
+
+    def describe(self) -> str:
+        """Readable one-line description used in experiment tables."""
+        bits = [
+            self.model.name,
+            self.parallelism.describe(),
+            f"mbs={self.micro_batch_size}",
+            f"m={self.num_microbatches}",
+        ]
+        if self.recompute:
+            bits.append("recompute")
+        if self.offload_activations:
+            bits.append("offload")
+        if self.zero_stage:
+            bits.append(f"zero{self.zero_stage}")
+        if self.label:
+            bits.append(f"[{self.label}]")
+        return " ".join(bits)
+
+    def with_(self, **changes) -> "TrainingConfig":
+        """Return a modified copy (convenience wrapper around dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+#: The optimization combinations evaluated in Figure 8 / Figure 13.
+#: N: no optimization, R: recomputation, V: virtual pipeline, Z: ZeRO
+#: (distributed optimizer), O: activation offload.
+OPTIMIZATION_PRESETS: dict[str, dict] = {
+    "Naive": {},
+    "R": {"recompute": True},
+    "V": {"virtual_pipeline": True},
+    "VR": {"virtual_pipeline": True, "recompute": True},
+    "ZR": {"zero_stage": 1, "recompute": True},
+    "ZOR": {"zero_stage": 1, "offload_activations": True, "recompute": True},
+}
+
+
+def preset_config(
+    model: ModelConfig,
+    preset: str,
+    *,
+    parallelism: ParallelismConfig,
+    micro_batch_size: int,
+    num_microbatches: int = 8,
+    virtual_chunks: int = 2,
+    framework: str = "megatron",
+) -> TrainingConfig:
+    """Build the TrainingConfig for one of the paper's optimization presets.
+
+    ``parallelism`` is the baseline layout; presets containing ``V`` replace it
+    with a copy that uses ``virtual_chunks`` virtual-pipeline chunks.
+    """
+    if preset not in OPTIMIZATION_PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; available: {', '.join(OPTIMIZATION_PRESETS)}"
+        )
+    options = dict(OPTIMIZATION_PRESETS[preset])
+    if options.pop("virtual_pipeline", False):
+        parallelism = replace(parallelism, virtual_pipeline_chunks=virtual_chunks)
+    return TrainingConfig(
+        model=model,
+        parallelism=parallelism,
+        micro_batch_size=micro_batch_size,
+        num_microbatches=num_microbatches,
+        framework=framework,
+        label=preset,
+        **options,
+    )

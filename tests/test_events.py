@@ -1,0 +1,127 @@
+"""Tests for the memory-request event model and event pairing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    EventKind,
+    MemoryRequest,
+    Phase,
+    PhaseKind,
+    TensorCategory,
+    TraceEvent,
+    pair_events,
+)
+from tests.conftest import make_phase, make_request
+
+
+class TestPhase:
+    def test_ordering_by_index(self):
+        assert make_phase(0) < make_phase(1)
+
+    def test_label_forward(self):
+        phase = Phase(index=2, kind=PhaseKind.FORWARD, microbatch=3, chunk=1)
+        assert phase.label() == "F(mb=3, chunk=1)"
+
+    def test_label_init(self):
+        assert Phase(index=0, kind=PhaseKind.INIT).label() == "INIT"
+
+
+class TestMemoryRequest:
+    def test_lifespan(self):
+        request = make_request(1, 100, alloc_time=5, free_time=25)
+        assert request.lifespan == 20
+        assert request.memory_time() == 2000
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            make_request(1, 0, 0, 10)
+
+    def test_rejects_inverted_lifespan(self):
+        with pytest.raises(ValueError):
+            make_request(1, 100, 10, 10)
+
+    def test_overlaps(self):
+        a = make_request(1, 100, 0, 10)
+        b = make_request(2, 100, 5, 15)
+        c = make_request(3, 100, 10, 20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: back-to-back is not an overlap
+
+    def test_overlaps_interval(self):
+        request = make_request(1, 100, 10, 20)
+        assert request.overlaps_interval(0, 11)
+        assert request.overlaps_interval(19, 25)
+        assert not request.overlaps_interval(20, 30)
+
+    def test_shifted(self):
+        request = make_request(1, 100, 10, 20)
+        shifted = request.shifted(5)
+        assert (shifted.alloc_time, shifted.free_time) == (15, 25)
+
+    def test_phase_pair_and_layer_pair(self):
+        request = make_request(1, 64, 0, 5, dyn=True, alloc_module="l0", free_module="l1")
+        assert request.layer_pair == ("l0", "l1")
+        assert request.phase_pair == (request.alloc_phase, request.free_phase)
+
+
+class TestPairEvents:
+    def _alloc(self, req_id, size, time, phase, **kwargs):
+        return TraceEvent(EventKind.ALLOC, req_id, size, time, phase, **kwargs)
+
+    def _free(self, req_id, size, time, phase, **kwargs):
+        return TraceEvent(EventKind.FREE, req_id, size, time, phase, **kwargs)
+
+    def test_simple_pairing(self):
+        p0, p1 = make_phase(0), make_phase(1, PhaseKind.BACKWARD)
+        events = [self._alloc(1, 100, 0, p0), self._free(1, 100, 5, p1)]
+        requests = pair_events(events)
+        assert len(requests) == 1
+        request = requests[0]
+        assert (request.alloc_time, request.free_time) == (0, 5)
+        assert request.alloc_phase == p0 and request.free_phase == p1
+
+    def test_unfreed_allocations_are_closed_at_trace_end(self):
+        p0 = make_phase(0, PhaseKind.INIT)
+        p1 = make_phase(1)
+        events = [self._alloc(1, 100, 0, p0), self._alloc(2, 50, 3, p1), self._free(2, 50, 8, p1)]
+        requests = pair_events(events)
+        persistent = next(r for r in requests if r.req_id == 1)
+        assert persistent.free_time == 9  # one tick past the last event
+
+    def test_free_without_alloc_raises(self):
+        p0 = make_phase(0)
+        with pytest.raises(ValueError):
+            pair_events([self._free(1, 100, 0, p0)])
+
+    def test_double_alloc_raises(self):
+        p0 = make_phase(0)
+        with pytest.raises(ValueError):
+            pair_events([self._alloc(1, 100, 0, p0), self._alloc(1, 100, 1, p0)])
+
+    def test_dynamic_metadata_preserved(self):
+        p0, p1 = make_phase(0), make_phase(1, PhaseKind.BACKWARD)
+        events = [
+            self._alloc(1, 100, 0, p0, dyn=True, module="layer0.experts",
+                        category=TensorCategory.EXPERT_ACTIVATION),
+            self._free(1, 100, 4, p1, dyn=True, module="layer0.experts.grad"),
+        ]
+        request = pair_events(events)[0]
+        assert request.dyn
+        assert request.layer_pair == ("layer0.experts", "layer0.experts.grad")
+        assert request.category is TensorCategory.EXPERT_ACTIVATION
+
+    def test_empty_trace(self):
+        assert pair_events([]) == []
+
+    def test_requests_sorted_by_alloc_time(self):
+        p0 = make_phase(0)
+        events = [
+            self._alloc(2, 10, 1, p0),
+            self._alloc(1, 10, 0, p0),
+            self._free(1, 10, 2, p0),
+            self._free(2, 10, 3, p0),
+        ]
+        requests = pair_events(events)
+        assert [r.req_id for r in requests] == [1, 2]

@@ -1,0 +1,274 @@
+"""Unit and property-based tests for the interval-set algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2, 10).length == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(10, 2)
+
+    def test_overlap_true(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+
+    def test_overlap_false_when_touching(self):
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 8))
+        assert not Interval(0, 10).contains(Interval(2, 12))
+
+    def test_contains_point(self):
+        interval = Interval(4, 8)
+        assert interval.contains_point(4)
+        assert interval.contains_point(7)
+        assert not interval.contains_point(8)
+
+
+class TestIntervalSetBasics:
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert len(s) == 0
+        assert not s
+        assert s.total == 0
+        assert s.span is None
+
+    def test_add_single(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        assert s.intervals() == [Interval(0, 10)]
+        assert s.total == 10
+
+    def test_add_zero_length_is_noop(self):
+        s = IntervalSet()
+        s.add(5, 5)
+        assert not s
+
+    def test_add_invalid_raises(self):
+        s = IntervalSet()
+        with pytest.raises(ValueError):
+            s.add(10, 5)
+
+    def test_add_merges_adjacent(self):
+        s = IntervalSet([(0, 10), (10, 20)])
+        assert s.intervals() == [Interval(0, 20)]
+
+    def test_add_merges_overlapping(self):
+        s = IntervalSet([(0, 10), (5, 30), (25, 40)])
+        assert s.intervals() == [Interval(0, 40)]
+
+    def test_add_keeps_disjoint(self):
+        s = IntervalSet([(0, 10), (20, 30)])
+        assert s.intervals() == [Interval(0, 10), Interval(20, 30)]
+        assert s.total == 20
+
+    def test_full_constructor(self):
+        assert IntervalSet.full(3, 9).intervals() == [Interval(3, 9)]
+
+    def test_copy_is_independent(self):
+        s = IntervalSet([(0, 10)])
+        copy = s.copy()
+        copy.add(20, 30)
+        assert s.total == 10
+        assert copy.total == 20
+
+    def test_equality(self):
+        assert IntervalSet([(0, 5), (10, 15)]) == IntervalSet([(10, 15), (0, 5)])
+        assert IntervalSet([(0, 5)]) != IntervalSet([(0, 6)])
+
+    def test_span(self):
+        s = IntervalSet([(5, 10), (20, 30)])
+        assert s.span == Interval(5, 30)
+
+
+class TestIntervalSetRemove:
+    def test_remove_whole(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(0, 10)
+        assert not s
+
+    def test_remove_middle_splits(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(3, 7)
+        assert s.intervals() == [Interval(0, 3), Interval(7, 10)]
+
+    def test_remove_left_edge(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(0, 4)
+        assert s.intervals() == [Interval(4, 10)]
+
+    def test_remove_right_edge(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(6, 10)
+        assert s.intervals() == [Interval(0, 6)]
+
+    def test_remove_across_intervals(self):
+        s = IntervalSet([(0, 10), (20, 30), (40, 50)])
+        s.remove(5, 45)
+        assert s.intervals() == [Interval(0, 5), Interval(45, 50)]
+
+    def test_remove_outside_is_noop(self):
+        s = IntervalSet([(10, 20)])
+        s.remove(30, 40)
+        assert s.intervals() == [Interval(10, 20)]
+
+    def test_remove_zero_length_is_noop(self):
+        s = IntervalSet([(10, 20)])
+        s.remove(15, 15)
+        assert s.total == 10
+
+
+class TestIntervalSetAlgebra:
+    def test_union(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(5, 20)])
+        assert a.union(b).intervals() == [Interval(0, 20)]
+
+    def test_difference(self):
+        a = IntervalSet([(0, 20)])
+        b = IntervalSet([(5, 10), (15, 25)])
+        assert a.difference(b).intervals() == [Interval(0, 5), Interval(10, 15)]
+
+    def test_intersection(self):
+        a = IntervalSet([(0, 10), (20, 30)])
+        b = IntervalSet([(5, 25)])
+        assert a.intersection(b).intervals() == [Interval(5, 10), Interval(20, 25)]
+
+    def test_intersection_empty(self):
+        a = IntervalSet([(0, 10)])
+        b = IntervalSet([(10, 20)])
+        assert not a.intersection(b)
+
+    def test_complement(self):
+        s = IntervalSet([(5, 10), (15, 20)])
+        assert s.complement(0, 25).intervals() == [
+            Interval(0, 5),
+            Interval(10, 15),
+            Interval(20, 25),
+        ]
+
+    def test_contains(self):
+        s = IntervalSet([(0, 10), (20, 30)])
+        assert s.contains(2, 8)
+        assert s.contains(0, 10)
+        assert not s.contains(8, 12)
+        assert not s.contains(12, 15)
+
+    def test_contains_point(self):
+        s = IntervalSet([(0, 10)])
+        assert s.contains_point(0)
+        assert not s.contains_point(10)
+
+
+class TestIntervalSetCarving:
+    def test_best_fit_picks_smallest(self):
+        s = IntervalSet([(0, 100), (200, 210), (300, 350)])
+        assert s.best_fit(10) == Interval(200, 210)
+
+    def test_best_fit_none_when_too_large(self):
+        s = IntervalSet([(0, 10)])
+        assert s.best_fit(11) is None
+
+    def test_first_fit_picks_lowest_address(self):
+        s = IntervalSet([(0, 100), (200, 210)])
+        assert s.first_fit(10) == Interval(0, 100)
+
+    def test_carve_removes_bytes(self):
+        s = IntervalSet([(0, 100)])
+        carved = s.carve(30)
+        assert carved == Interval(0, 30)
+        assert s.intervals() == [Interval(30, 100)]
+
+    def test_carve_best_fit_policy(self):
+        s = IntervalSet([(0, 100), (200, 232)])
+        carved = s.carve(32, policy="best_fit")
+        assert carved == Interval(200, 232)
+
+    def test_carve_returns_none_when_no_fit(self):
+        s = IntervalSet([(0, 10)])
+        assert s.carve(20) is None
+        assert s.total == 10
+
+    def test_invalid_size_raises(self):
+        s = IntervalSet([(0, 10)])
+        with pytest.raises(ValueError):
+            s.best_fit(0)
+
+
+# ---------------------------------------------------------------------- #
+# Property-based tests
+# ---------------------------------------------------------------------- #
+interval_strategy = st.tuples(
+    st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=50)
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+
+@st.composite
+def interval_sets(draw):
+    intervals = draw(st.lists(interval_strategy, max_size=15))
+    return IntervalSet(intervals)
+
+
+def _covered(s: IntervalSet) -> set[int]:
+    """Explicit point-set model of an IntervalSet (small ranges only)."""
+    points: set[int] = set()
+    for interval in s:
+        points.update(range(interval.start, interval.end))
+    return points
+
+
+class TestIntervalSetProperties:
+    @given(st.lists(interval_strategy, max_size=15))
+    @settings(max_examples=100)
+    def test_canonical_form(self, intervals):
+        """Members are sorted, disjoint and non-adjacent after any additions."""
+        s = IntervalSet(intervals)
+        members = s.intervals()
+        for first, second in zip(members, members[1:]):
+            assert first.end < second.start
+
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=75)
+    def test_union_matches_point_model(self, a, b):
+        assert _covered(a.union(b)) == _covered(a) | _covered(b)
+
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=75)
+    def test_intersection_matches_point_model(self, a, b):
+        assert _covered(a.intersection(b)) == _covered(a) & _covered(b)
+
+    @given(interval_sets(), interval_sets())
+    @settings(max_examples=75)
+    def test_difference_matches_point_model(self, a, b):
+        assert _covered(a.difference(b)) == _covered(a) - _covered(b)
+
+    @given(interval_sets())
+    @settings(max_examples=50)
+    def test_complement_is_involution(self, s):
+        lo, hi = 0, 1100
+        assert _covered(s.complement(lo, hi).complement(lo, hi)) == _covered(s) & set(range(lo, hi))
+
+    @given(interval_sets(), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=75)
+    def test_carve_preserves_total(self, s, size):
+        total_before = s.total
+        carved = s.carve(size)
+        if carved is None:
+            assert s.total == total_before
+            assert all(interval.length < size for interval in s)
+        else:
+            assert carved.length == size
+            assert s.total == total_before - size

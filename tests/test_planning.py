@@ -1,0 +1,408 @@
+"""Tests for STAlloc's plan synthesis: grouping, fusion, layering, global planning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_space import (
+    dynamic_request_group_index,
+    group_temporal_range,
+    homolayer_groups,
+    locate_dynamic_reusable_spaces,
+)
+from repro.core.events import PhaseKind
+from repro.core.homophase import (
+    LocalPlan,
+    attempt_fusion,
+    build_homophase_groups,
+    fuse_adjacent_groups,
+    fuse_plans_by_insertion,
+    fuse_plans_by_repack,
+    pack_requests,
+    weighted_average_tmp,
+)
+from repro.core.homosize import MemoryLayer, construct_memory_layers, group_by_size
+from repro.core.plan import AllocationDecision, StaticAllocationPlan
+from repro.core.planner import GlobalPlannerConfig, build_global_plan
+from repro.core.profiler import AllocationProfiler
+from repro.core.synthesizer import PlanSynthesizer, SynthesizerConfig
+from tests.conftest import make_phase, make_request
+
+
+class TestPackRequests:
+    def test_overlapping_requests_are_stacked(self):
+        requests = [make_request(i, 100, 0, 10) for i in range(3)]
+        plan = pack_requests(requests)
+        assert plan.size == 300
+        plan.validate()
+
+    def test_sequential_requests_share_space(self):
+        requests = [
+            make_request(0, 100, 0, 5),
+            make_request(1, 100, 5, 10),
+            make_request(2, 100, 10, 15),
+        ]
+        plan = pack_requests(requests)
+        assert plan.size == 100
+        plan.validate()
+
+    def test_mixed_lifespans(self):
+        requests = [
+            make_request(0, 100, 0, 20),   # long lived
+            make_request(1, 50, 0, 5),     # short
+            make_request(2, 50, 6, 12),    # reuses request 1's space
+        ]
+        plan = pack_requests(requests)
+        assert plan.size == 150
+        plan.validate()
+
+    def test_empty_plan(self):
+        plan = pack_requests([])
+        assert plan.size == 0
+        assert plan.time_memory_product() == 1.0
+
+    def test_tmp_perfect_for_single_request(self):
+        plan = pack_requests([make_request(0, 128, 0, 10)])
+        assert plan.time_memory_product() == pytest.approx(1.0)
+
+    def test_tmp_reflects_bubbles(self):
+        # Two requests that overlap for only part of their lifespans.
+        plan = pack_requests([make_request(0, 100, 0, 10), make_request(1, 100, 8, 20)])
+        assert plan.time_memory_product() < 1.0
+
+
+class TestHomoPhaseGrouping:
+    def test_groups_keyed_by_phase_pair(self):
+        f0, b0 = make_phase(1, PhaseKind.FORWARD, 0), make_phase(2, PhaseKind.BACKWARD, 0)
+        f1, b1 = make_phase(3, PhaseKind.FORWARD, 1), make_phase(4, PhaseKind.BACKWARD, 1)
+        requests = [
+            make_request(0, 10, 0, 100, alloc_phase=f0, free_phase=b0),
+            make_request(1, 10, 1, 101, alloc_phase=f0, free_phase=b0),
+            make_request(2, 10, 50, 150, alloc_phase=f1, free_phase=b1),
+        ]
+        groups = build_homophase_groups(requests)
+        assert len(groups) == 2
+        assert {group.num_requests for group in groups} == {1, 2}
+
+    def test_group_plans_are_conflict_free(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        groups = build_homophase_groups(profile.static_requests)
+        for group in groups:
+            group.validate()
+        assert sum(group.num_requests for group in groups) == len(profile.static_requests)
+
+
+class TestFusion:
+    def _adjacent_plans(self):
+        f0 = make_phase(1, PhaseKind.FORWARD, 0)
+        b0 = make_phase(2, PhaseKind.BACKWARD, 0)
+        scoped = pack_requests(
+            [make_request(0, 100, 0, 100, alloc_phase=f0, free_phase=b0),
+             make_request(1, 100, 1, 101, alloc_phase=f0, free_phase=b0)],
+            phase_span=(f0, b0),
+        )
+        transient = pack_requests(
+            [make_request(2, 80, 110, 120, alloc_phase=b0, free_phase=b0),
+             make_request(3, 80, 121, 130, alloc_phase=b0, free_phase=b0)],
+            phase_span=(b0, b0),
+        )
+        return scoped, transient
+
+    def test_fusion_by_repack_keeps_all_requests(self):
+        a, b = self._adjacent_plans()
+        fused = fuse_plans_by_repack(a, b)
+        assert fused.num_requests == a.num_requests + b.num_requests
+        fused.validate()
+
+    def test_fusion_by_insertion_keeps_all_requests(self):
+        a, b = self._adjacent_plans()
+        fused = fuse_plans_by_insertion(a, b)
+        assert fused.num_requests == a.num_requests + b.num_requests
+        fused.validate()
+
+    def test_fusion_reuses_space_across_phase_boundary(self):
+        a, b = self._adjacent_plans()
+        fused = fuse_plans_by_repack(a, b)
+        # The transient requests run after the scoped ones have been freed, so
+        # the fused plan should not be taller than the scoped plan alone.
+        assert fused.size <= a.size
+
+    def test_acceptance_requires_tmp_improvement(self):
+        a, b = self._adjacent_plans()
+        fused = attempt_fusion(a, b)
+        if fused is not None:
+            assert fused.time_memory_product() > weighted_average_tmp(a, b)
+
+    def test_fuse_adjacent_groups_reduces_group_count(self):
+        a, b = self._adjacent_plans()
+        fused, count = fuse_adjacent_groups([a, b])
+        assert count in (0, 1)
+        assert len(fused) == 2 - count
+
+    def test_fusion_disabled(self):
+        a, b = self._adjacent_plans()
+        fused, count = fuse_adjacent_groups([a, b], enable_fusion=False)
+        assert count == 0 and len(fused) == 2
+
+    def test_unknown_strategy_rejected(self):
+        a, b = self._adjacent_plans()
+        with pytest.raises(ValueError):
+            attempt_fusion(a, b, strategy="magic")
+
+    def test_phase_span_merge(self):
+        a, b = self._adjacent_plans()
+        fused = fuse_plans_by_repack(a, b)
+        assert fused.phase_span[0].index == 1
+        assert fused.phase_span[1].index == 2
+
+
+class TestMemoryLayers:
+    def _plan(self, req_id, size, start, end):
+        return pack_requests([make_request(req_id, size, start, end)])
+
+    def test_non_overlapping_plans_share_one_layer(self):
+        plans = [self._plan(0, 100, 0, 10), self._plan(1, 100, 10, 20), self._plan(2, 100, 20, 30)]
+        layers = construct_memory_layers(plans, 100)
+        assert len(layers) == 1
+        assert len(layers[0].items) == 3
+
+    def test_overlapping_plans_need_separate_layers(self):
+        plans = [self._plan(0, 100, 0, 20), self._plan(1, 100, 5, 25), self._plan(2, 100, 10, 30)]
+        layers = construct_memory_layers(plans, 100)
+        assert len(layers) == 3
+
+    def test_layer_count_is_minimal(self):
+        # Peak concurrency is 2, so exactly 2 layers are needed.
+        plans = [
+            self._plan(0, 100, 0, 10),
+            self._plan(1, 100, 5, 15),
+            self._plan(2, 100, 10, 20),
+            self._plan(3, 100, 15, 25),
+        ]
+        assert len(construct_memory_layers(plans, 100)) == 2
+
+    def test_oversized_plan_rejected(self):
+        with pytest.raises(ValueError):
+            construct_memory_layers([self._plan(0, 200, 0, 10)], 100)
+
+    def test_group_by_size(self):
+        plans = [self._plan(0, 100, 0, 10), self._plan(1, 100, 10, 20), self._plan(2, 50, 0, 10)]
+        groups = group_by_size(plans)
+        assert set(groups) == {100, 50}
+        assert len(groups[100]) == 2
+
+    def test_layer_can_hold_checks_time_and_size(self):
+        layer = MemoryLayer(size=100)
+        layer.append(self._plan(0, 100, 0, 10))
+        assert layer.can_hold(self._plan(1, 80, 10, 20))
+        assert not layer.can_hold(self._plan(2, 80, 5, 15))
+        assert not layer.can_hold(self._plan(3, 200, 10, 20))
+
+    def test_idle_time(self):
+        layer = MemoryLayer(size=100)
+        layer.append(self._plan(0, 100, 0, 10))
+        assert layer.idle_time(0, 20) == 10
+
+
+class TestGlobalPlanning:
+    def test_decisions_cover_all_requests(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        groups = build_homophase_groups(profile.static_requests)
+        plan, layers = build_global_plan(groups)
+        assert len(plan.decisions) == len(profile.static_requests)
+        plan.validate()
+
+    def test_gap_insertion_reduces_pool(self):
+        # A small plan whose lifetime fits the idle window of a big layer.
+        big_a = pack_requests([make_request(0, 1000, 0, 10)])
+        big_b = pack_requests([make_request(1, 1000, 20, 30)])
+        small = pack_requests([make_request(2, 100, 12, 18)])
+        with_insertion, _ = build_global_plan([big_a, big_b, small], GlobalPlannerConfig())
+        without_insertion, _ = build_global_plan(
+            [big_a, big_b, small], GlobalPlannerConfig(enable_gap_insertion=False)
+        )
+        assert with_insertion.pool_size == 1000
+        assert without_insertion.pool_size == 1100
+
+    def test_descending_order_never_worse_on_trace(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        groups = build_homophase_groups(profile.static_requests)
+        descending, _ = build_global_plan(groups, GlobalPlannerConfig(descending_size_order=True))
+        ascending, _ = build_global_plan(groups, GlobalPlannerConfig(descending_size_order=False))
+        assert descending.pool_size <= ascending.pool_size
+
+    def test_plan_validation_detects_conflicts(self):
+        request_a = make_request(0, 100, 0, 10)
+        request_b = make_request(1, 100, 5, 15)
+        plan = StaticAllocationPlan(
+            decisions=[AllocationDecision(request_a, 0), AllocationDecision(request_b, 50)]
+        )
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_plan_validation_accepts_time_disjoint_overlap(self):
+        request_a = make_request(0, 100, 0, 10)
+        request_b = make_request(1, 100, 10, 20)
+        plan = StaticAllocationPlan(
+            decisions=[AllocationDecision(request_a, 0), AllocationDecision(request_b, 0)]
+        )
+        plan.validate()
+
+    def test_pool_size_bounds_every_decision(self):
+        request = make_request(0, 100, 0, 10)
+        plan = StaticAllocationPlan(decisions=[AllocationDecision(request, 50)], pool_size=100)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestDynamicSpace:
+    def _static_plan(self):
+        requests = [
+            make_request(0, 100, 0, 10),    # occupies [0, 100) during [0, 10)
+            make_request(1, 100, 20, 30),   # occupies [100, 200) during [20, 30)
+        ]
+        decisions = [AllocationDecision(requests[0], 0), AllocationDecision(requests[1], 100)]
+        return StaticAllocationPlan(decisions=decisions, pool_size=200)
+
+    def test_homolayer_grouping(self):
+        dynamic = [
+            make_request(10, 64, 2, 5, dyn=True, alloc_module="l0", free_module="l0"),
+            make_request(11, 64, 3, 6, dyn=True, alloc_module="l0", free_module="l0"),
+            make_request(12, 64, 22, 25, dyn=True, alloc_module="l1", free_module="l1"),
+        ]
+        groups = homolayer_groups(dynamic)
+        assert set(groups) == {("l0", "l0"), ("l1", "l1")}
+        assert len(groups[("l0", "l0")]) == 2
+
+    def test_reusable_space_excludes_live_statics(self):
+        dynamic = [make_request(10, 64, 2, 5, dyn=True, alloc_module="l0", free_module="l0")]
+        spaces = locate_dynamic_reusable_spaces(
+            dynamic, self._static_plan(), {"l0": (2, 5)}
+        )
+        space = spaces[("l0", "l0")]
+        # Static request 0 is live during [2, 5); request 1 is not.
+        assert not space.contains_point(50)
+        assert space.contains(100, 200)
+
+    def test_reusable_space_full_when_statics_idle(self):
+        dynamic = [make_request(10, 64, 12, 18, dyn=True, alloc_module="gap", free_module="gap")]
+        spaces = locate_dynamic_reusable_spaces(dynamic, self._static_plan(), {"gap": (12, 18)})
+        assert spaces[("gap", "gap")].total == 200
+
+    def test_module_span_fallback_to_members(self):
+        members = [make_request(10, 64, 2, 5, dyn=True, alloc_module="x", free_module="x")]
+        start, end = group_temporal_range(("x", "x"), members, {})
+        assert (start, end) == (2, 5)
+
+    def test_group_index(self):
+        dynamic = [make_request(10, 64, 2, 5, dyn=True, alloc_module="a", free_module="b")]
+        assert dynamic_request_group_index(dynamic) == {10: ("a", "b")}
+
+    def test_empty_dynamic_set(self):
+        assert locate_dynamic_reusable_spaces([], self._static_plan(), {}) == {}
+
+
+class TestPlanSynthesizer:
+    def test_static_plan_valid_and_complete(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        plan = PlanSynthesizer().synthesize(profile)
+        assert len(plan.static_plan) == len(profile.static_requests)
+        plan.static_plan.validate()
+
+    def test_pool_size_close_to_peak_demand(self, dense_trace):
+        """The plan's reserved pool should be near the theoretical lower bound."""
+        profile = AllocationProfiler().profile(dense_trace)
+        plan = PlanSynthesizer().synthesize(profile)
+        peak = plan.synthesis_info["peak_static_demand_bytes"]
+        assert plan.pool_size >= peak
+        assert plan.pool_size <= peak * 1.10  # within 10% of optimal
+
+    def test_moe_plan_has_dynamic_spaces(self, moe_trace):
+        profile = AllocationProfiler().profile(moe_trace)
+        plan = PlanSynthesizer().synthesize(profile)
+        assert plan.dynamic_reusable_spaces
+        assert plan.dynamic_request_groups
+        for space in plan.dynamic_reusable_spaces.values():
+            for interval in space:
+                assert 0 <= interval.start < interval.end <= plan.pool_size
+
+    def test_dynamic_reuse_can_be_disabled(self, moe_trace):
+        profile = AllocationProfiler().profile(moe_trace)
+        plan = PlanSynthesizer(SynthesizerConfig(enable_dynamic_reuse=False)).synthesize(profile)
+        assert plan.dynamic_reusable_spaces == {}
+
+    def test_synthesis_info_populated(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        plan = PlanSynthesizer().synthesize(profile)
+        info = plan.synthesis_info
+        assert info["num_static_requests"] == len(profile.static_requests)
+        assert info["num_homophase_groups"] > 0
+        assert info["synthesis_seconds"] >= 0
+        assert info["layers"]["num_layers"] >= 1
+
+    def test_fusion_improves_or_matches_pool_size(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        fused = PlanSynthesizer(SynthesizerConfig(enable_fusion=True)).synthesize(profile)
+        unfused = PlanSynthesizer(SynthesizerConfig(enable_fusion=False)).synthesize(profile)
+        assert fused.pool_size <= unfused.pool_size * 1.01
+
+
+# ---------------------------------------------------------------------- #
+# Property-based planning tests
+# ---------------------------------------------------------------------- #
+@st.composite
+def random_requests(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    requests = []
+    for req_id in range(count):
+        start = draw(st.integers(min_value=0, max_value=200))
+        duration = draw(st.integers(min_value=1, max_value=100))
+        size = draw(st.integers(min_value=512, max_value=1 << 20))
+        phase_index = draw(st.integers(min_value=0, max_value=5))
+        requests.append(
+            make_request(
+                req_id,
+                size,
+                start,
+                start + duration,
+                alloc_phase=make_phase(phase_index),
+                free_phase=make_phase(phase_index + 1, PhaseKind.BACKWARD),
+            )
+        )
+    return requests
+
+
+class TestPlanningProperties:
+    @given(random_requests())
+    @settings(max_examples=50, deadline=None)
+    def test_global_plan_never_stomps_memory(self, requests):
+        groups = build_homophase_groups(requests)
+        fused, _ = fuse_adjacent_groups(groups)
+        plan, _ = build_global_plan(fused)
+        plan.validate()  # raises on any spatio-temporal conflict
+        assert len(plan.decisions) == len(requests)
+
+    @given(random_requests())
+    @settings(max_examples=50, deadline=None)
+    def test_pool_size_at_least_peak_demand(self, requests):
+        groups = build_homophase_groups(requests)
+        plan, _ = build_global_plan(groups)
+        events = []
+        for request in requests:
+            events.append((request.alloc_time, request.size))
+            events.append((request.free_time, -request.size))
+        events.sort()
+        live = peak = 0
+        for _, delta in events:
+            live += delta
+            peak = max(peak, live)
+        assert plan.pool_size >= peak
+
+    @given(random_requests())
+    @settings(max_examples=30, deadline=None)
+    def test_pack_requests_is_conflict_free(self, requests):
+        plan = pack_requests(requests)
+        plan.validate()
+        assert plan.num_requests == len(requests)

@@ -1,0 +1,280 @@
+"""Tests for STAlloc's runtime allocator, trace replay, metrics and throughput model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators.base import AllocationHints
+from repro.core.profiler import AllocationProfiler
+from repro.core.stalloc import STAlloc, STAllocConfig
+from repro.gpu.device import Device, GIB
+from repro.simulator.metrics import MemoryMetrics, fragmentation_reduction
+from repro.simulator.replay import replay_trace
+from repro.simulator.runner import (
+    STALLOC,
+    STALLOC_NO_REUSE,
+    default_allocator_lineup,
+    run_workload,
+    run_workload_suite,
+)
+from repro.simulator.throughput import GPU_SPECS, ThroughputModel
+from repro.workloads.models import get_model
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.training import TrainingConfig
+
+
+# ---------------------------------------------------------------------- #
+# Profiler
+# ---------------------------------------------------------------------- #
+class TestProfiler:
+    def test_profile_counts(self, dense_trace):
+        profile = AllocationProfiler().profile(dense_trace)
+        assert profile.num_requests == dense_trace.num_requests
+        assert len(profile.dynamic_requests) == dense_trace.num_dynamic_requests
+        assert profile.peak_allocated_bytes() == dense_trace.peak_allocated_bytes()
+
+    def test_summary_fields(self, moe_trace):
+        summary = AllocationProfiler().profile(moe_trace).summary()
+        assert summary["num_dynamic_requests"] > 0
+        assert summary["static_bytes"] > summary["dynamic_bytes"]
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            AllocationProfiler(iterations=0)
+
+
+# ---------------------------------------------------------------------- #
+# STAlloc runtime allocator
+# ---------------------------------------------------------------------- #
+class TestRuntimeAllocator:
+    def test_replay_of_profiled_trace_has_no_mismatches(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        device = Device(name="test", capacity=80 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        result = replay_trace(dense_trace, allocator)
+        assert result.success
+        assert result.allocator_stats["plan_mismatches"] == 0
+        assert result.allocator_stats["fallback_allocs"] == 0
+
+    def test_reserved_equals_pool_for_static_trace(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        device = Device(name="test", capacity=80 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        replay_trace(dense_trace, allocator)
+        assert allocator.reserved_bytes == stalloc.static_pool_bytes
+
+    def test_memory_efficiency_beats_caching(self, dense_trace, tiny_dense_config):
+        runs = run_workload_suite(tiny_dense_config, ["torch2.3", STALLOC], device_name="A800-80GB")
+        assert runs[STALLOC].memory_efficiency >= runs["torch2.3"].memory_efficiency
+        assert runs[STALLOC].memory_efficiency > 0.95
+
+    def test_moe_dynamic_requests_are_served(self, moe_trace):
+        stalloc = STAlloc.from_trace(moe_trace)
+        device = Device(name="test", capacity=200 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        result = replay_trace(moe_trace, allocator)
+        assert result.success
+        stats = result.allocator_stats
+        assert stats["dynamic_pool_bytes"] + stats["dynamic_fallback_bytes"] > 0
+
+    def test_dynamic_reuse_reduces_fallback(self, moe_trace):
+        device_a = Device(name="a", capacity=200 * GIB)
+        device_b = Device(name="b", capacity=200 * GIB)
+        with_reuse = STAlloc.from_trace(moe_trace).build_runtime_allocator(device_a)
+        without_reuse = STAlloc.from_trace(
+            moe_trace, STAllocConfig(enable_dynamic_reuse=False)
+        ).build_runtime_allocator(device_b)
+        result_with = replay_trace(moe_trace, with_reuse)
+        result_without = replay_trace(moe_trace, without_reuse)
+        assert (
+            result_with.allocator_stats["fallback_bytes"]
+            <= result_without.allocator_stats["fallback_bytes"]
+        )
+        assert result_with.metrics.peak_reserved_bytes <= result_without.metrics.peak_reserved_bytes
+
+    def test_unexpected_request_falls_back(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        device = Device(name="test", capacity=80 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        allocator.allocate(10_000_000, 4096, AllocationHints())  # never profiled
+        assert allocator.stats.plan_mismatches == 1
+        assert allocator.stats.fallback_allocs == 1
+        allocator.free(10_000_000)
+
+    def test_size_mismatch_falls_back_without_stomping(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        device = Device(name="test", capacity=80 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        first_alloc = next(e for e in dense_trace.events if e.is_alloc())
+        allocator.allocate(first_alloc.req_id, first_alloc.size + 512, AllocationHints())
+        assert allocator.stats.plan_mismatches == 1
+
+    def test_release_returns_pool_to_device(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        device = Device(name="test", capacity=80 * GIB)
+        allocator = stalloc.build_runtime_allocator(device)
+        assert device.in_use == stalloc.static_pool_bytes
+        allocator.release()
+        assert device.in_use == 0
+
+    def test_planning_report(self, dense_trace):
+        stalloc = STAlloc.from_trace(dense_trace)
+        report = stalloc.planning_report()
+        assert report["num_requests"] == dense_trace.num_requests
+        assert report["static_pool_bytes"] == stalloc.static_pool_bytes
+        assert report["plan_overhead_ratio"] >= 1.0
+
+
+# ---------------------------------------------------------------------- #
+# Metrics / replay
+# ---------------------------------------------------------------------- #
+class TestMetrics:
+    def test_efficiency_and_fragmentation(self):
+        metrics = MemoryMetrics(peak_allocated_bytes=80, peak_reserved_bytes=100)
+        assert metrics.memory_efficiency == pytest.approx(0.8)
+        assert metrics.fragmentation_ratio == pytest.approx(0.2)
+        assert metrics.fragmentation_bytes == 20
+
+    def test_zero_reserved_is_perfect(self):
+        assert MemoryMetrics(0, 0).memory_efficiency == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMetrics(-1, 0)
+
+    def test_fragmentation_reduction(self):
+        baseline = MemoryMetrics(80, 100)
+        improved = MemoryMetrics(80, 82)
+        assert fragmentation_reduction(baseline, improved) == pytest.approx(0.9)
+
+    def test_as_dict_keys(self):
+        data = MemoryMetrics(2 * GIB, 4 * GIB).as_dict()
+        assert data["memory_efficiency"] == pytest.approx(0.5)
+        assert data["peak_reserved_gib"] == pytest.approx(4.0)
+
+
+class TestReplay:
+    def test_replay_counts_events(self, dense_trace, device):
+        from repro.allocators.caching import CachingAllocator
+
+        allocator = CachingAllocator(Device(name="big", capacity=200 * GIB))
+        result = replay_trace(dense_trace, allocator)
+        assert result.success
+        assert result.events_replayed == dense_trace.num_events
+        assert result.metrics.peak_allocated_bytes == dense_trace.peak_allocated_bytes()
+
+    def test_replay_detects_oom(self, dense_trace):
+        from repro.allocators.caching import CachingAllocator
+
+        tiny = Device(name="tiny", capacity=1 * GIB)
+        allocator = CachingAllocator(tiny)
+        result = replay_trace(dense_trace, allocator)
+        assert not result.success
+        assert result.oom_at_event is not None
+        assert result.oom_request_bytes > 0
+
+    def test_replay_continue_after_oom(self, dense_trace):
+        from repro.allocators.caching import CachingAllocator
+
+        tiny = Device(name="tiny", capacity=1 * GIB)
+        allocator = CachingAllocator(tiny)
+        result = replay_trace(dense_trace, allocator, stop_on_oom=False)
+        assert not result.success
+        assert result.events_replayed > 0
+
+
+# ---------------------------------------------------------------------- #
+# Throughput model
+# ---------------------------------------------------------------------- #
+class TestThroughputModel:
+    def _config(self, **kwargs) -> TrainingConfig:
+        defaults = dict(
+            model=get_model("qwen2.5-14b"),
+            parallelism=ParallelismConfig(tensor_parallel=2, pipeline_parallel=2, data_parallel=4,
+                                          virtual_pipeline_chunks=kwargs.pop("vpp", 1)),
+            micro_batch_size=1,
+            num_microbatches=8,
+        )
+        defaults.update(kwargs)
+        return TrainingConfig(**defaults)
+
+    def test_recompute_lowers_reported_tflops(self):
+        model = ThroughputModel(GPU_SPECS["H200-141GB"])
+        assert model.tflops(self._config(recompute=True)) < model.tflops(self._config())
+
+    def test_vpp_raises_tflops(self):
+        model = ThroughputModel(GPU_SPECS["H200-141GB"])
+        assert model.tflops(self._config(vpp=2)) > model.tflops(self._config())
+
+    def test_larger_tp_lowers_tflops(self):
+        model = ThroughputModel(GPU_SPECS["H200-141GB"])
+        tp4 = self._config()
+        tp4 = tp4.with_(parallelism=ParallelismConfig(tensor_parallel=4, pipeline_parallel=2, data_parallel=2))
+        assert model.tflops(tp4) < model.tflops(self._config())
+
+    def test_table1_ordering(self):
+        """Original (VPP) > disable VPP > TP=4 and recompute (Table 1)."""
+        model = ThroughputModel(GPU_SPECS["H200-141GB"])
+        original = model.tflops(self._config(vpp=2))
+        no_vpp = model.tflops(self._config())
+        recompute = model.tflops(self._config(recompute=True))
+        tp4 = model.tflops(
+            self._config().with_(
+                parallelism=ParallelismConfig(tensor_parallel=4, pipeline_parallel=2, data_parallel=2)
+            )
+        )
+        assert original > no_vpp > recompute
+        assert original > tp4 > recompute
+
+    def test_allocator_overhead_reduces_throughput(self):
+        model = ThroughputModel(GPU_SPECS["A800-80GB"])
+        config = self._config()
+        assert model.tflops(config, allocator_overhead_seconds=5.0) < model.tflops(config)
+
+    def test_bubble_fraction_shrinks_with_vpp(self):
+        model = ThroughputModel(GPU_SPECS["A800-80GB"])
+        assert model.pipeline_bubble_fraction(self._config(vpp=2)) < model.pipeline_bubble_fraction(
+            self._config()
+        )
+
+    def test_tflops_below_peak(self):
+        model = ThroughputModel(GPU_SPECS["H200-141GB"])
+        assert model.tflops(self._config()) < GPU_SPECS["H200-141GB"].peak_tflops
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+class TestRunner:
+    def test_run_workload_baseline(self, tiny_dense_config):
+        run = run_workload(tiny_dense_config, "torch2.3", device_name="A800-80GB")
+        assert run.success
+        assert 0.0 < run.memory_efficiency <= 1.0
+
+    def test_run_workload_stalloc_has_planning_report(self, tiny_dense_config):
+        run = run_workload(tiny_dense_config, STALLOC, device_name="A800-80GB")
+        assert run.planning_report["static_pool_bytes"] > 0
+
+    def test_run_workload_with_throughput(self, tiny_dense_config):
+        run = run_workload(tiny_dense_config, "torch2.3", device_name="A800-80GB", with_throughput=True)
+        assert run.tflops is not None and run.tflops > 0
+
+    def test_suite_shares_trace(self, tiny_dense_config):
+        runs = run_workload_suite(tiny_dense_config, ["torch2.0", "torch2.3"], device_name="A800-80GB")
+        assert set(runs) == {"torch2.0", "torch2.3"}
+        assert runs["torch2.0"].replay.metrics.peak_allocated_bytes == runs[
+            "torch2.3"
+        ].replay.metrics.peak_allocated_bytes
+
+    def test_default_lineup(self):
+        lineup = default_allocator_lineup()
+        assert lineup[-1] == STALLOC and "torch2.0" in lineup
+
+    def test_custom_capacity_forces_oom(self, tiny_dense_config):
+        run = run_workload(tiny_dense_config, "torch2.3", device_name="A800-80GB", device_capacity_gib=1)
+        assert not run.success
+        assert run.as_dict()["status" if "status" in run.as_dict() else "success"] is not None
+
+    def test_stalloc_no_reuse_variant(self, tiny_moe_config):
+        run = run_workload(tiny_moe_config, STALLOC_NO_REUSE, device_name="A800-80GB")
+        assert run.success
