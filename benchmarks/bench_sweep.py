@@ -1,0 +1,44 @@
+"""Benchmarks for the sweep engine: cold, cached, and parallel execution.
+
+The cold/warm pair quantifies what the persistent trace/plan/result cache
+buys (warm reruns should be orders of magnitude faster); the parallel case
+measures the process fan-out on the same grid.
+"""
+
+from __future__ import annotations
+
+from repro.sweep import load_spec, run_sweep
+
+
+def test_sweep_quick_grid_cold(benchmark, tmp_path):
+    """24-point grid, serial, empty cache: every trace/plan is synthesized."""
+    spec = load_spec("quick-grid")
+    result = benchmark.pedantic(
+        lambda: run_sweep(spec, jobs=1, cache_dir=tmp_path / "cold", reuse_results=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_points >= 24
+    assert all(row["status"] == "ok" for row in result.rows)
+
+
+def test_sweep_quick_grid_cached(benchmark, tmp_path):
+    """Same grid served entirely from the persistent result cache."""
+    spec = load_spec("quick-grid")
+    cache_dir = tmp_path / "cache"
+    run_sweep(spec, jobs=1, cache_dir=cache_dir)  # prime every cache layer
+    result = benchmark.pedantic(
+        lambda: run_sweep(spec, jobs=1, cache_dir=cache_dir), rounds=3, iterations=1
+    )
+    assert result.num_cached == result.num_points
+
+
+def test_sweep_quick_grid_parallel(benchmark, tmp_path):
+    """Same grid fanned out over 4 worker processes (cache only for traces)."""
+    spec = load_spec("quick-grid")
+    result = benchmark.pedantic(
+        lambda: run_sweep(spec, jobs=4, cache_dir=tmp_path / "par", reuse_results=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_points >= 24

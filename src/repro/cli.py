@@ -1,10 +1,13 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate paper artifacts and run config sweeps.
 
 Usage::
 
     stalloc-repro list
     stalloc-repro run fig8a
-    stalloc-repro run all --quick
+    stalloc-repro run all --quick --jobs 4 --cache-dir .stalloc-cache
+    stalloc-repro sweep quick-grid --jobs 4 --output results.json --output results.csv
+    stalloc-repro sweep my_spec.json --jobs 8
+    stalloc-repro sweep --list
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import argparse
 import sys
 
 from repro.experiments import available_experiments, run_experiment
+from repro.experiments.common import configure_execution
 from repro.version import __version__
 
 
@@ -31,7 +35,130 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--quick", action="store_true", help="run a reduced version of the experiment"
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for multi-allocator workloads (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent trace/plan cache directory (default: no on-disk cache)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a declarative config x allocator sweep grid"
+    )
+    sweep_parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="sweep preset name or path to a JSON spec file",
+    )
+    sweep_parser.add_argument(
+        "--list", action="store_true", dest="list_presets", help="list available sweep presets"
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes executing sweep points (default: 1, serial)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=".stalloc-repro-cache",
+        metavar="DIR",
+        help="persistent trace/plan/result cache directory (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent cache for this sweep",
+    )
+    sweep_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute result rows even when cached (traces/plans are still reused)",
+    )
+    sweep_parser.add_argument(
+        "--output",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="write results to PATH (.json or .csv); repeatable",
+    )
+    sweep_parser.add_argument(
+        "--with-throughput",
+        action="store_true",
+        help="also evaluate the analytical throughput model per point",
+    )
+    sweep_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=40,
+        metavar="N",
+        help="rows to print to stdout (default: %(default)s; outputs always get all rows)",
+    )
     return parser
+
+
+def _cmd_run(args) -> int:
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.jobs != 1 or args.cache_dir is not None:
+        configure_execution(jobs=args.jobs, cache_dir=args.cache_dir)
+    targets = available_experiments() if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        result = run_experiment(experiment_id, quick=args.quick)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweep import available_presets, load_spec, run_sweep
+
+    if args.list_presets:
+        for preset in available_presets():
+            print(preset)
+        return 0
+    if args.spec is None:
+        print("error: a sweep spec (preset name or JSON file) is required", file=sys.stderr)
+        return 2
+    bad_outputs = [o for o in args.output if not o.endswith((".json", ".csv"))]
+    if bad_outputs:
+        print(
+            f"error: unsupported --output extension for {', '.join(bad_outputs)}; "
+            "use .json or .csv",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except (ValueError, FileNotFoundError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else args.cache_dir
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        reuse_results=not args.fresh,
+        with_throughput=args.with_throughput,
+    )
+    for output in args.output:
+        result.write(output)
+        print(f"wrote {output}", file=sys.stderr)
+    print(result.to_text(max_rows=args.max_rows if args.max_rows >= 0 else None))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,12 +171,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        targets = available_experiments() if args.experiment == "all" else [args.experiment]
-        for experiment_id in targets:
-            result = run_experiment(experiment_id, quick=args.quick)
-            print(result.to_text())
-            print()
-        return 0
+        return _cmd_run(args)
+
+    if args.command == "sweep":
+        return _cmd_sweep(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

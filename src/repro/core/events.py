@@ -63,6 +63,26 @@ class Phase:
         return f"Phase#{self.index}[{self.label()}]"
 
 
+def phase_to_dict(phase: Phase) -> dict:
+    """JSON-safe encoding shared by trace files and serialized plans."""
+    return {
+        "index": phase.index,
+        "kind": phase.kind.value,
+        "microbatch": phase.microbatch,
+        "chunk": phase.chunk,
+    }
+
+
+def phase_from_dict(data: dict) -> Phase:
+    """Inverse of :func:`phase_to_dict`."""
+    return Phase(
+        index=data["index"],
+        kind=PhaseKind(data["kind"]),
+        microbatch=data["microbatch"],
+        chunk=data["chunk"],
+    )
+
+
 class TensorCategory(enum.Enum):
     """What kind of tensor a request backs (used for analysis and Table 3)."""
 

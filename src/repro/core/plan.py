@@ -18,8 +18,47 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.events import MemoryRequest
+from repro.core.events import (
+    MemoryRequest,
+    Phase,
+    TensorCategory,
+    phase_from_dict,
+    phase_to_dict,
+)
 from repro.core.intervals import IntervalSet
+
+
+def _request_to_dict(request: MemoryRequest) -> dict:
+    """Serialize a request, referring to phases by index (see the phase table)."""
+    return {
+        "req_id": request.req_id,
+        "size": request.size,
+        "alloc_time": request.alloc_time,
+        "free_time": request.free_time,
+        "alloc_phase": request.alloc_phase.index,
+        "free_phase": request.free_phase.index,
+        "dyn": request.dyn,
+        "alloc_module": request.alloc_module,
+        "free_module": request.free_module,
+        "category": request.category.value,
+        "tag": request.tag,
+    }
+
+
+def _request_from_dict(data: dict, phases: dict[int, Phase]) -> MemoryRequest:
+    return MemoryRequest(
+        req_id=data["req_id"],
+        size=data["size"],
+        alloc_time=data["alloc_time"],
+        free_time=data["free_time"],
+        alloc_phase=phases[data["alloc_phase"]],
+        free_phase=phases[data["free_phase"]],
+        dyn=data["dyn"],
+        alloc_module=data["alloc_module"],
+        free_module=data["free_module"],
+        category=TensorCategory(data["category"]),
+        tag=data["tag"],
+    )
 
 
 @dataclass(frozen=True)
@@ -104,6 +143,36 @@ class StaticAllocationPlan:
         """Numerator of the plan-level time-memory product."""
         return sum(decision.request.memory_time() for decision in self.decisions)
 
+    # ------------------------------------------------------------------ #
+    # Serialization (used by the sweep engine's persistent plan cache)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict:
+        """JSON-safe representation (phases deduplicated into a table)."""
+        phases: dict[int, Phase] = {}
+        for decision in self.decisions:
+            for phase in (decision.request.alloc_phase, decision.request.free_phase):
+                phases.setdefault(phase.index, phase)
+        return {
+            "pool_size": self.pool_size,
+            "phases": [phase_to_dict(phases[index]) for index in sorted(phases)],
+            "decisions": [
+                {"address": decision.address, "request": _request_to_dict(decision.request)}
+                for decision in self.decisions
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "StaticAllocationPlan":
+        phases = {entry["index"]: phase_from_dict(entry) for entry in data["phases"]}
+        decisions = [
+            AllocationDecision(
+                request=_request_from_dict(entry["request"], phases),
+                address=entry["address"],
+            )
+            for entry in data["decisions"]
+        ]
+        return cls(decisions=decisions, pool_size=data["pool_size"])
+
 
 @dataclass
 class SynthesizedPlan:
@@ -125,3 +194,44 @@ class SynthesizedPlan:
     def reusable_space_for(self, alloc_module: str, free_module: str) -> IntervalSet:
         """Reusable space for a dynamic request's HomoLayer group (may be empty)."""
         return self.dynamic_reusable_spaces.get((alloc_module, free_module), IntervalSet())
+
+    # ------------------------------------------------------------------ #
+    # Serialization (used by the sweep engine's persistent plan cache)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict:
+        """JSON-safe representation of the full plan (static + dynamic parts)."""
+        return {
+            "static_plan": self.static_plan.to_json_dict(),
+            "dynamic_reusable_spaces": [
+                {
+                    "alloc_module": alloc_module,
+                    "free_module": free_module,
+                    "intervals": [[iv.start, iv.end] for iv in spaces],
+                }
+                for (alloc_module, free_module), spaces in self.dynamic_reusable_spaces.items()
+            ],
+            "dynamic_request_groups": [
+                [req_id, group[0], group[1]]
+                for req_id, group in self.dynamic_request_groups.items()
+            ],
+            "synthesis_info": self.synthesis_info,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SynthesizedPlan":
+        spaces = {
+            (entry["alloc_module"], entry["free_module"]): IntervalSet(
+                (start, end) for start, end in entry["intervals"]
+            )
+            for entry in data["dynamic_reusable_spaces"]
+        }
+        groups = {
+            req_id: (alloc_module, free_module)
+            for req_id, alloc_module, free_module in data["dynamic_request_groups"]
+        }
+        return cls(
+            static_plan=StaticAllocationPlan.from_json_dict(data["static_plan"]),
+            dynamic_reusable_spaces=spaces,
+            dynamic_request_groups=groups,
+            synthesis_info=data["synthesis_info"],
+        )

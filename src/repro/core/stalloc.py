@@ -15,7 +15,9 @@ training run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.core.plan import SynthesizedPlan
 from repro.core.profiler import AllocationProfiler, ProfileResult
@@ -23,6 +25,10 @@ from repro.core.runtime import RuntimeAllocator
 from repro.core.synthesizer import PlanSynthesizer, SynthesizerConfig
 from repro.gpu.device import Device
 from repro.workloads.trace import Trace
+
+#: Version of the serialized-plan format written by :meth:`STAlloc.to_json_dict`.
+#: Bump on incompatible changes so persistent caches discard stale entries.
+PLAN_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -55,6 +61,10 @@ class STAlloc:
     profile: ProfileResult
     plan: SynthesizedPlan
     config: STAllocConfig = field(default_factory=STAllocConfig)
+    #: Planning report computed before serialization; set on instances loaded
+    #: from a serialized plan, whose (discarded) profile can no longer
+    #: contribute to the report.
+    cached_report: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -97,6 +107,8 @@ class STAlloc:
 
     def planning_report(self) -> dict:
         """Summary of the offline pipeline: group counts, pool size, timings."""
+        if self.cached_report is not None:
+            return dict(self.cached_report)
         report = dict(self.plan.synthesis_info)
         report.update(self.profile.summary())
         peak = self.profile.peak_allocated_bytes()
@@ -105,3 +117,44 @@ class STAlloc:
                 report.get("peak_static_demand_bytes", peak), 1
             )
         return report
+
+    # ------------------------------------------------------------------ #
+    # Serialization (plans are cached on disk by the sweep engine)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict:
+        """JSON-safe snapshot: plan + pipeline config + precomputed report.
+
+        The profiling result itself is not serialized -- the runtime allocator
+        only needs the synthesized plan, and the parts of the profile that
+        feed reporting are captured in the stored planning report.
+        """
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "config": asdict(self.config),
+            "plan": self.plan.to_json_dict(),
+            "report": self.planning_report(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "STAlloc":
+        """Rebuild a planned STAlloc instance from :meth:`to_json_dict` output."""
+        version = data.get("format_version")
+        if version != PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported plan format version {version!r} (expected {PLAN_FORMAT_VERSION})"
+            )
+        return cls(
+            profile=ProfileResult(),
+            plan=SynthesizedPlan.from_json_dict(data["plan"]),
+            config=STAllocConfig(**data["config"]),
+            cached_report=data["report"],
+        )
+
+    def save_plan(self, path: str | Path) -> None:
+        """Write the serialized plan to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_json_dict()), encoding="utf-8")
+
+    @classmethod
+    def load_plan(cls, path: str | Path) -> "STAlloc":
+        """Load an instance previously stored with :meth:`save_plan`."""
+        return cls.from_json_dict(json.loads(Path(path).read_text(encoding="utf-8")))

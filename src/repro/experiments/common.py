@@ -24,6 +24,35 @@ FULL_LINEUP = BASELINE_LINEUP + ["stalloc"]
 PRESETS = ["Naive", "R", "V", "VR", "ZR", "ZOR"]
 
 
+# ---------------------------------------------------------------------- #
+# Execution settings (parallelism + persistent caching for every experiment)
+# ---------------------------------------------------------------------- #
+_EXECUTION: dict = {"jobs": 1, "cache_dir": None}
+
+
+def configure_execution(*, jobs: int | None = None, cache_dir: str | None = None) -> None:
+    """Set how experiment workloads execute, process-wide.
+
+    ``jobs`` > 1 makes :func:`repro.simulator.runner.run_workload_suite` fan
+    allocators out over worker processes; ``cache_dir`` installs the
+    persistent on-disk trace/plan cache of :mod:`repro.sweep` so repeated
+    experiment runs skip trace generation and plan synthesis.  Passing None
+    for ``cache_dir`` removes an installed cache; passing None for ``jobs``
+    resets to serial.  The CLI's ``--jobs`` / ``--cache-dir`` flags call this.
+    """
+    from repro.simulator import runner
+
+    _EXECUTION["jobs"] = 1 if jobs is None else int(jobs)
+    _EXECUTION["cache_dir"] = str(cache_dir) if cache_dir is not None else None
+    runner.set_default_jobs(_EXECUTION["jobs"])
+    runner.set_persistent_cache(_EXECUTION["cache_dir"])
+
+
+def execution_settings() -> dict:
+    """The currently configured execution settings (jobs, cache_dir)."""
+    return dict(_EXECUTION)
+
+
 @dataclass
 class ExperimentResult:
     """Rows of one regenerated table/figure plus free-form notes."""

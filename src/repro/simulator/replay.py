@@ -20,6 +20,8 @@ class ReplayResult:
     oom_at_event: int | None = None
     oom_request_bytes: int = 0
     events_replayed: int = 0
+    failed_allocs: int = 0
+    skipped_frees: int = 0
     allocator_stats: dict = field(default_factory=dict)
     overhead_seconds: float = 0.0
 
@@ -30,6 +32,11 @@ class ReplayResult:
     @property
     def fragmentation_ratio(self) -> float:
         return self.metrics.fragmentation_ratio
+
+    @property
+    def events_skipped(self) -> int:
+        """Events not applied to the allocator (failed allocs + their frees)."""
+        return self.failed_allocs + self.skipped_frees
 
     def as_dict(self) -> dict:
         data = {
@@ -42,6 +49,8 @@ class ReplayResult:
         if not self.success:
             data["oom_at_event"] = self.oom_at_event
             data["oom_request_bytes"] = self.oom_request_bytes
+            data["failed_allocs"] = self.failed_allocs
+            data["skipped_frees"] = self.skipped_frees
         return data
 
 
@@ -51,33 +60,46 @@ def replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool = True
     When the allocator raises an out-of-memory error the replay stops (the
     training job would have crashed) and the result is flagged unsuccessful;
     peak metrics cover the portion replayed up to that point.
+
+    With ``stop_on_oom=False`` the replay instead skips the failed request and
+    keeps going: the failed allocation and its matching free are both counted
+    as skipped (never shown to the allocator), so at the end
+    ``events_replayed + events_skipped`` equals the trace's event count.
     """
     events_replayed = 0
+    failed_allocs = 0
+    skipped_frees = 0
     oom_at_event: int | None = None
     oom_request_bytes = 0
     failed_requests: set[int] = set()
     for index, event in enumerate(trace.events):
-        try:
-            if event.is_alloc():
-                hints = AllocationHints(
-                    phase=event.phase,
-                    module=event.module,
-                    dyn=event.dyn,
-                    category=event.category,
-                )
+        if event.is_alloc():
+            hints = AllocationHints(
+                phase=event.phase,
+                module=event.module,
+                dyn=event.dyn,
+                category=event.category,
+            )
+            try:
                 allocator.allocate(event.req_id, event.size, hints)
-            else:
-                if event.req_id in failed_requests:
-                    continue
-                allocator.free(event.req_id)
-        except OutOfMemoryError:
-            if oom_at_event is None:
-                oom_at_event = index
-                oom_request_bytes = event.size
-            failed_requests.add(event.req_id)
-            if stop_on_oom:
-                break
-            continue
+            except OutOfMemoryError:
+                if oom_at_event is None:
+                    oom_at_event = index
+                    oom_request_bytes = event.size
+                failed_requests.add(event.req_id)
+                failed_allocs += 1
+                if stop_on_oom:
+                    break
+                continue
+        else:
+            if event.req_id in failed_requests:
+                # The matching allocation never happened; drop the request
+                # from the failed set so the bookkeeping stays bounded and
+                # a (pathological) re-use of the id is not swallowed too.
+                failed_requests.discard(event.req_id)
+                skipped_frees += 1
+                continue
+            allocator.free(event.req_id)
         events_replayed += 1
 
     metrics = MemoryMetrics(
@@ -91,6 +113,8 @@ def replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool = True
         oom_at_event=oom_at_event,
         oom_request_bytes=oom_request_bytes,
         events_replayed=events_replayed,
+        failed_allocs=failed_allocs,
+        skipped_frees=skipped_frees,
         allocator_stats=allocator.stats.snapshot(),
         overhead_seconds=allocator.overhead_seconds(),
     )

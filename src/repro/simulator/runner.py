@@ -10,10 +10,20 @@ The experiments in :mod:`repro.experiments` all follow the same recipe:
 This module implements that recipe once, including STAlloc's extra offline
 step (profile + plan synthesis before the replay), plus a small trace cache so
 sweeping five allocators over one configuration only generates the trace once.
+
+The pure per-run path is :func:`run_workload`; :func:`run_workload_suite` is
+the orchestrator on top of it and can fan the allocators out over worker
+processes (``jobs > 1``).  When a persistent cache directory is installed (see
+:func:`set_persistent_cache`, wired up by ``repro.experiments.common`` and the
+CLI), traces and synthesized STAlloc plans are additionally memoised on disk
+through :class:`repro.sweep.cache.SweepCache`, so repeated runs -- and worker
+processes, which cannot see the parent's in-memory cache -- skip regeneration.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.allocators.base import Allocator
@@ -23,7 +33,7 @@ from repro.gpu.device import Device, GIB
 from repro.simulator.replay import ReplayResult, replay_trace
 from repro.simulator.throughput import GPU_SPECS, ThroughputModel
 from repro.workloads.trace import Trace
-from repro.workloads.tracegen import TraceGenerator
+from repro.workloads.tracegen import TraceGenerator, config_fingerprint
 from repro.workloads.training import TrainingConfig
 
 #: Name under which STAlloc appears in experiment tables.
@@ -67,15 +77,30 @@ class WorkloadRun:
 
 
 class _TraceCache:
-    """Memoises generated traces keyed by (config description, seed, scale)."""
+    """LRU memo of generated traces keyed by the full config fingerprint.
 
-    def __init__(self) -> None:
-        self._traces: dict[tuple, Trace] = {}
+    The fingerprint covers every field that shapes generation -- unlike
+    ``config.describe()``, which omits e.g. ``seq_length`` and the dtype
+    knobs and would let distinct configs alias each other's traces.  The memo
+    is bounded: a sweep over hundreds of configurations must not retain every
+    trace in RAM for the life of the process (points sharing a configuration
+    are adjacent in expansion order, so a small window captures the reuse).
+    """
 
-    def get(self, config: TrainingConfig, *, seed: int, scale: float) -> Trace:
-        key = (config.describe(), seed, scale)
-        if key not in self._traces:
-            self._traces[key] = TraceGenerator(config, seed=seed, scale=scale).generate()
+    def __init__(self, maxsize: int = 16) -> None:
+        self.maxsize = maxsize
+        self._traces: dict[str, Trace] = {}
+
+    def get(self, config: TrainingConfig, *, seed: int, scale: float, loader=None) -> Trace:
+        key = config_fingerprint(config, seed=seed, scale=scale)
+        if key in self._traces:
+            self._traces[key] = self._traces.pop(key)  # refresh LRU position
+        else:
+            if loader is None:
+                loader = TraceGenerator(config, seed=seed, scale=scale).generate
+            self._traces[key] = loader()
+            while len(self._traces) > self.maxsize:
+                self._traces.pop(next(iter(self._traces)))
         return self._traces[key]
 
     def clear(self) -> None:
@@ -84,24 +109,118 @@ class _TraceCache:
 
 _TRACE_CACHE = _TraceCache()
 
+#: Directory of the installed persistent (on-disk) cache, or None.
+_PERSISTENT_CACHE_DIR: str | None = None
+#: Lazily-constructed SweepCache for :data:`_PERSISTENT_CACHE_DIR`.
+_PERSISTENT_CACHE = None
+
+#: Default worker-process count for :func:`run_workload_suite` (1 = serial).
+_DEFAULT_JOBS = 1
+
+#: Sentinel for the ``cache`` parameters below: explicitly disable on-disk
+#: caching for one call, even when a persistent cache is installed globally
+#: (``None`` means "use the installed default").
+NO_CACHE = object()
+
+
+def _resolve_cache(cache):
+    if cache is NO_CACHE:
+        return None
+    return cache if cache is not None else persistent_cache()
+
 
 def clear_trace_cache() -> None:
     """Drop memoised traces (tests use this to control memory)."""
     _TRACE_CACHE.clear()
 
 
-def generate_trace(config: TrainingConfig, *, seed: int = 0, scale: float = 1.0) -> Trace:
-    """Generate (or fetch from cache) the allocation trace of a configuration."""
-    return _TRACE_CACHE.get(config, seed=seed, scale=scale)
+def set_persistent_cache(cache) -> None:
+    """Install (or, with None, remove) the on-disk trace/plan cache.
+
+    Accepts a directory path (the cache is constructed lazily) or an existing
+    :class:`repro.sweep.cache.SweepCache` instance (shared, so its hit/miss
+    statistics aggregate across the runner and the caller).
+    """
+    global _PERSISTENT_CACHE_DIR, _PERSISTENT_CACHE
+    if cache is None:
+        _PERSISTENT_CACHE_DIR = None
+        _PERSISTENT_CACHE = None
+    elif isinstance(cache, (str, os.PathLike)):
+        _PERSISTENT_CACHE_DIR = str(cache)
+        _PERSISTENT_CACHE = None
+    else:
+        _PERSISTENT_CACHE_DIR = str(cache.root)
+        _PERSISTENT_CACHE = cache
 
 
-def _build_allocator(name: str, device: Device, trace: Trace) -> tuple[Allocator, dict]:
-    """Instantiate an allocator by name, handling STAlloc's offline pipeline."""
-    if name == STALLOC:
-        stalloc = STAlloc.from_trace(trace)
-        return stalloc.build_runtime_allocator(device), stalloc.planning_report()
+def persistent_cache_dir() -> str | None:
+    """Directory of the installed persistent cache (None when disabled)."""
+    return _PERSISTENT_CACHE_DIR
+
+
+def persistent_cache():
+    """The installed SweepCache instance, constructed on first use (or None)."""
+    global _PERSISTENT_CACHE
+    if _PERSISTENT_CACHE is None and _PERSISTENT_CACHE_DIR is not None:
+        from repro.sweep.cache import SweepCache
+
+        _PERSISTENT_CACHE = SweepCache(_PERSISTENT_CACHE_DIR)
+    return _PERSISTENT_CACHE
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-parallelism :func:`run_workload_suite` defaults to."""
+    global _DEFAULT_JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = int(jobs)
+
+
+def generate_trace(
+    config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, cache=None
+) -> Trace:
+    """Generate (or fetch from cache) the allocation trace of a configuration.
+
+    Lookup order: the in-process memo, then the on-disk cache (``cache`` if
+    given, else the installed persistent cache; pass :data:`NO_CACHE` to skip
+    disk entirely) which generates and stores on miss, then plain generation.
+    """
+    cache = _resolve_cache(cache)
+    loader = None
+    if cache is not None:
+        loader = lambda: cache.get_trace(config, seed=seed, scale=scale)  # noqa: E731
+    return _TRACE_CACHE.get(config, seed=seed, scale=scale, loader=loader)
+
+
+def _stalloc_config(name: str, overrides: dict | None) -> STAllocConfig:
+    """STAllocConfig for one of the runner-level stalloc variants."""
+    params = dict(overrides or {})
     if name == STALLOC_NO_REUSE:
-        stalloc = STAlloc.from_trace(trace, STAllocConfig(enable_dynamic_reuse=False))
+        params.setdefault("enable_dynamic_reuse", False)
+    return STAllocConfig(**params)
+
+
+def _build_allocator(
+    name: str,
+    device: Device,
+    trace: Trace,
+    stalloc_overrides: dict | None = None,
+    cache=None,
+) -> tuple[Allocator, dict]:
+    """Instantiate an allocator by name, handling STAlloc's offline pipeline.
+
+    For the STAlloc variants the offline pipeline (profile + plan synthesis)
+    runs here -- unless the plan cache (``cache`` if given, else the installed
+    persistent cache) already holds a plan for this exact
+    (trace, pipeline-config) pair, in which case the plan is loaded.
+    """
+    if name in (STALLOC, STALLOC_NO_REUSE):
+        stalloc_config = _stalloc_config(name, stalloc_overrides)
+        cache = _resolve_cache(cache)
+        if cache is not None:
+            stalloc = cache.get_stalloc(trace, stalloc_config)
+        else:
+            stalloc = STAlloc.from_trace(trace, stalloc_config)
         return stalloc.build_runtime_allocator(device), stalloc.planning_report()
     return create_allocator(name, device), {}
 
@@ -116,16 +235,29 @@ def run_workload(
     scale: float = 1.0,
     with_throughput: bool = False,
     trace: Trace | None = None,
+    stalloc_overrides: dict | None = None,
+    cache=None,
 ) -> WorkloadRun:
-    """Run one configuration through one allocator and collect metrics."""
+    """Run one configuration through one allocator and collect metrics.
+
+    This is the pure per-run worker: it has no side effects beyond the caches
+    and is what the sweep engine executes in worker processes.
+    ``stalloc_overrides`` optionally overrides STAllocConfig knobs for the
+    STAlloc variants (ablation sweeps); other allocators ignore it.  ``cache``
+    optionally routes trace/plan lookups through an explicit
+    :class:`repro.sweep.cache.SweepCache` instead of the installed persistent
+    cache.
+    """
     if trace is None:
-        trace = generate_trace(config, seed=seed, scale=scale)
+        trace = generate_trace(config, seed=seed, scale=scale, cache=cache)
     gpu = GPU_SPECS.get(device_name)
     capacity_gib = device_capacity_gib if device_capacity_gib is not None else (
         gpu.memory_gib if gpu else 80
     )
     device = Device(name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0)
-    allocator, planning_report = _build_allocator(allocator_name, device, trace)
+    allocator, planning_report = _build_allocator(
+        allocator_name, device, trace, stalloc_overrides, cache=cache
+    )
     replay = replay_trace(trace, allocator)
     tflops = None
     if with_throughput and gpu is not None:
@@ -141,6 +273,20 @@ def run_workload(
     )
 
 
+def _suite_worker(payload: tuple) -> tuple[str, WorkloadRun]:
+    """Process-pool entry point: run one allocator of a suite in a worker.
+
+    The worker re-installs the parent's persistent cache (worker processes do
+    not share the parent's module state when spawned) and resolves the trace
+    through it; without a cache the parent ships the trace in the payload, so
+    the trace is generated at most once per suite on every start method.
+    """
+    config, name, kwargs, cache_dir, trace = payload
+    if cache_dir is not None and persistent_cache_dir() != cache_dir:
+        set_persistent_cache(cache_dir)
+    return name, run_workload(config, name, trace=trace, **kwargs)
+
+
 def run_workload_suite(
     config: TrainingConfig,
     allocator_names: list[str],
@@ -150,22 +296,38 @@ def run_workload_suite(
     seed: int = 0,
     scale: float = 1.0,
     with_throughput: bool = False,
+    jobs: int | None = None,
 ) -> dict[str, WorkloadRun]:
-    """Run one configuration through several allocators, sharing the trace."""
+    """Run one configuration through several allocators, sharing the trace.
+
+    ``jobs`` sets the number of worker processes the allocators fan out over;
+    ``None`` uses the module default (see :func:`set_default_jobs`, configured
+    through ``repro.experiments.common.configure_execution`` / the CLI) and
+    ``1`` keeps the serial in-process path.
+    """
+    jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
+    kwargs = dict(
+        device_name=device_name,
+        device_capacity_gib=device_capacity_gib,
+        seed=seed,
+        scale=scale,
+        with_throughput=with_throughput,
+    )
+    if jobs > 1 and len(allocator_names) > 1:
+        # Generate the trace once up front.  With a persistent cache the
+        # workers read it back from disk; without one it is shipped to them
+        # in the payload (correct on every multiprocessing start method).
+        trace = generate_trace(config, seed=seed, scale=scale)
+        shipped = None if persistent_cache_dir() is not None else trace
+        payloads = [
+            (config, name, kwargs, persistent_cache_dir(), shipped)
+            for name in allocator_names
+        ]
+        workers = min(jobs, len(allocator_names))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return dict(pool.map(_suite_worker, payloads))
     trace = generate_trace(config, seed=seed, scale=scale)
-    runs: dict[str, WorkloadRun] = {}
-    for name in allocator_names:
-        runs[name] = run_workload(
-            config,
-            name,
-            device_name=device_name,
-            device_capacity_gib=device_capacity_gib,
-            seed=seed,
-            scale=scale,
-            with_throughput=with_throughput,
-            trace=trace,
-        )
-    return runs
+    return {name: run_workload(config, name, trace=trace, **kwargs) for name in allocator_names}
 
 
 def default_allocator_lineup(*, include_stalloc: bool = True) -> list[str]:

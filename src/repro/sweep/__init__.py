@@ -1,0 +1,32 @@
+"""Parallel sweep engine with a persistent trace/plan/result cache.
+
+Sweeps evaluate grids of (TrainingConfig x allocator x STAlloc knob)
+combinations -- declaratively specified as JSON or picked from named presets
+-- across worker processes, memoising generated traces, synthesized STAlloc
+plans and finished result rows on disk so repeated sweeps skip regeneration
+entirely.  See ``README.md`` ("Sweeps") for the spec format and cache layout.
+"""
+
+from repro.sweep.cache import CacheStats, SweepCache
+from repro.sweep.engine import execute_point, run_sweep
+from repro.sweep.results import SweepResult
+from repro.sweep.spec import (
+    SWEEP_PRESETS,
+    SweepPoint,
+    SweepSpec,
+    available_presets,
+    load_spec,
+)
+
+__all__ = [
+    "CacheStats",
+    "SweepCache",
+    "SweepPoint",
+    "SweepSpec",
+    "SweepResult",
+    "SWEEP_PRESETS",
+    "available_presets",
+    "execute_point",
+    "load_spec",
+    "run_sweep",
+]

@@ -1,0 +1,180 @@
+"""Persistent content-addressed cache for traces, plans and sweep results.
+
+Layout under the cache root (all entries are plain JSON / JSON-lines files)::
+
+    <root>/traces/<config-fingerprint>.jsonl   generated allocation traces
+    <root>/plans/<trace+knobs-hash>.json       synthesized STAlloc plans
+    <root>/results/<point-hash>.json           finished sweep-point rows
+
+Traces are keyed by :func:`repro.workloads.tracegen.config_fingerprint` (a
+hash of everything that determines generation, which is deterministic), plans
+by the SHA-256 of the trace content plus the STAlloc pipeline configuration,
+and results by the trace fingerprint plus the sweep point's identity.  Because
+keys are content addresses, concurrent writers racing on the same entry write
+identical bytes; writes go through a temp file + :func:`os.replace` so readers
+never observe a partial entry.
+
+The cache is safe to delete at any time -- every entry can be regenerated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.stalloc import PLAN_FORMAT_VERSION, STAlloc, STAllocConfig
+from repro.version import __version__
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import TraceGenerator, config_fingerprint
+from repro.workloads.training import TrainingConfig
+
+#: Bump to invalidate every cached result row (e.g. when row fields change).
+RESULT_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per layer, for one :class:`SweepCache` instance."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without readers ever seeing partial content."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class SweepCache:
+    """On-disk cache shared by the sweep engine and the experiment runner."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        self.plans_dir = self.root / "plans"
+        self.results_dir = self.root / "results"
+        for directory in (self.traces_dir, self.plans_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+    def trace_path(self, fingerprint: str) -> Path:
+        return self.traces_dir / f"{fingerprint}.jsonl"
+
+    def get_trace(
+        self, config: TrainingConfig, *, seed: int = 0, scale: float = 1.0
+    ) -> Trace:
+        """Load the config's trace from disk, generating and storing on miss."""
+        fingerprint = config_fingerprint(config, seed=seed, scale=scale)
+        path = self.trace_path(fingerprint)
+        if path.exists():
+            try:
+                trace = Trace.load(path)
+                self.stats.trace_hits += 1
+                return trace
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                path.unlink(missing_ok=True)  # corrupt entry: fall through to regenerate
+        self.stats.trace_misses += 1
+        trace = TraceGenerator(config, seed=seed, scale=scale).generate()
+        _atomic_write_text(path, trace.dumps())
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # STAlloc plans
+    # ------------------------------------------------------------------ #
+    def plan_key(self, trace: Trace, stalloc_config: STAllocConfig) -> str:
+        """Content address: hash of the trace bytes + the pipeline config."""
+        payload = json.dumps(
+            {
+                "format_version": PLAN_FORMAT_VERSION,
+                # Plans depend on synthesizer code, and result rows on
+                # allocator code; keying on the release version keeps a
+                # long-lived cache from serving metrics computed by an older
+                # implementation.
+                "version": __version__,
+                "trace": trace.digest(),
+                "config": asdict(stalloc_config),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def plan_path(self, key: str) -> Path:
+        return self.plans_dir / f"{key}.json"
+
+    def get_stalloc(self, trace: Trace, stalloc_config: STAllocConfig | None = None) -> STAlloc:
+        """Load a planned STAlloc for the trace, running the pipeline on miss."""
+        stalloc_config = stalloc_config or STAllocConfig()
+        path = self.plan_path(self.plan_key(trace, stalloc_config))
+        if path.exists():
+            try:
+                stalloc = STAlloc.from_json_dict(json.loads(path.read_text(encoding="utf-8")))
+                self.stats.plan_hits += 1
+                return stalloc
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                path.unlink(missing_ok=True)
+        self.stats.plan_misses += 1
+        stalloc = STAlloc.from_trace(trace, stalloc_config)
+        _atomic_write_text(path, json.dumps(stalloc.to_json_dict()))
+        return stalloc
+
+    # ------------------------------------------------------------------ #
+    # Sweep-point results
+    # ------------------------------------------------------------------ #
+    def result_key(self, trace_fingerprint: str, point_payload: dict) -> str:
+        payload = json.dumps(
+            {
+                "format_version": RESULT_FORMAT_VERSION,
+                "version": __version__,
+                "trace": trace_fingerprint,
+                "point": point_payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def result_path(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    def load_result(self, key: str) -> dict | None:
+        path = self.result_path(key)
+        if not path.exists():
+            self.stats.result_misses += 1
+            return None
+        try:
+            row = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return row
+
+    def store_result(self, key: str, row: dict) -> None:
+        _atomic_write_text(self.result_path(key), json.dumps(row))

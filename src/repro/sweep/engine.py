@@ -1,0 +1,265 @@
+"""Process-parallel sweep execution.
+
+:func:`run_sweep` executes every point of a :class:`~repro.sweep.spec.SweepSpec`
+through the pure per-run worker (:func:`repro.simulator.runner.run_workload`)
+and collects one flat result row per point.  Execution is:
+
+* **cached** -- with a cache directory, finished rows are served straight from
+  the persistent result cache (checked in the parent, so a fully-warm sweep
+  never even spawns workers), and cache-missing points still reuse on-disk
+  traces and synthesized plans;
+* **parallel** -- cache-missing points fan out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers;
+  ``jobs=1`` is the serial in-process fallback producing identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.simulator.runner import NO_CACHE, generate_trace, run_workload
+from repro.sweep.cache import SweepCache
+from repro.sweep.results import SweepResult
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.workloads.tracegen import config_fingerprint
+
+
+def _point_row(point: SweepPoint, run, elapsed: float) -> dict:
+    """Flatten one WorkloadRun into the sweep's row format."""
+    replay = run.replay
+    metrics = replay.metrics
+    row = {
+        "point": point.index,
+        "model": point.config.model.name,
+        "config": point.config.label or point.config.describe(),
+        "allocator": point.allocator_label,
+        "seed": point.seed,
+        "scale": point.scale,
+        "device": point.device_name,
+        "status": "ok" if replay.success else "OOM",
+        "memory_efficiency_pct": round(100 * metrics.memory_efficiency, 1),
+        "fragmentation_pct": round(100 * metrics.fragmentation_ratio, 1),
+        "allocated_gib": round(metrics.peak_allocated_gib, 3),
+        "reserved_gib": round(metrics.peak_reserved_gib, 3),
+        "events_replayed": replay.events_replayed,
+        "elapsed_seconds": round(elapsed, 4),
+        "cached": False,
+        "description": point.config.describe(),
+    }
+    if not replay.success:
+        row["oom_at_event"] = replay.oom_at_event
+    if run.tflops is not None:
+        row["tflops_per_gpu"] = round(run.tflops, 1)
+    pool_bytes = run.planning_report.get("static_pool_bytes") if run.planning_report else None
+    if pool_bytes:
+        row["static_pool_gib"] = round(pool_bytes / (1 << 30), 3)
+    return row
+
+
+def _as_cached_row(row: dict, point: SweepPoint, elapsed: float) -> dict:
+    """Adapt a stored result row to the current sweep.
+
+    The cached row may come from a sweep whose grid ordered this point
+    differently, so its ``point`` index (and compute time) must not leak
+    through verbatim.
+    """
+    row = dict(row)
+    row["point"] = point.index
+    row["cached"] = True
+    row["elapsed_seconds"] = round(elapsed, 4)
+    return row
+
+
+def point_result_key(
+    cache: SweepCache, point: SweepPoint, *, with_throughput: bool = False
+) -> str:
+    """Result-cache key of one sweep point (trace fingerprint + point identity).
+
+    ``with_throughput`` is part of the key: rows computed without the
+    throughput model must not satisfy a ``--with-throughput`` sweep.
+    """
+    fingerprint = config_fingerprint(point.config, seed=point.seed, scale=point.scale)
+    payload = point.cache_payload()
+    payload["with_throughput"] = bool(with_throughput)
+    return cache.result_key(fingerprint, payload)
+
+
+def execute_point(
+    point: SweepPoint,
+    cache_dir: str | None = None,
+    *,
+    reuse_results: bool = True,
+    with_throughput: bool = False,
+    cache: SweepCache | None = None,
+    trace=None,
+) -> dict:
+    """Run one sweep point (the unit of work executed in worker processes).
+
+    ``cache`` optionally supplies an existing :class:`SweepCache` for
+    ``cache_dir`` (the serial path shares the orchestrator's instance so its
+    hit/miss statistics aggregate); workers construct their own from the dir.
+    ``trace`` optionally supplies the point's trace directly (cache-less
+    parallel sweeps ship shared traces to workers this way).
+    """
+    started = time.perf_counter()
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir)
+    result_key = None
+    if cache is not None:
+        result_key = point_result_key(cache, point, with_throughput=with_throughput)
+        if reuse_results:
+            row = cache.load_result(result_key)
+            if row is not None:
+                return _as_cached_row(row, point, time.perf_counter() - started)
+
+    # Resolve the trace through the runner's in-process memo layered over this
+    # point's on-disk cache, then run with the cache threaded explicitly so
+    # synthesized STAlloc plans persist (and their hit/miss counters land on
+    # the stats we report) without touching any process-global state.  A sweep
+    # without a cache dir must really not cache -- NO_CACHE keeps a globally
+    # installed persistent cache from sneaking back in.
+    point_cache = cache if cache is not None else NO_CACHE
+    if trace is None:
+        trace = generate_trace(
+            point.config, seed=point.seed, scale=point.scale, cache=point_cache
+        )
+    run = run_workload(
+        point.config,
+        point.allocator,
+        device_name=point.device_name,
+        device_capacity_gib=point.device_capacity_gib,
+        seed=point.seed,
+        scale=point.scale,
+        with_throughput=with_throughput,
+        trace=trace,
+        stalloc_overrides=dict(point.stalloc_overrides),
+        cache=point_cache,
+    )
+    row = _point_row(point, run, time.perf_counter() - started)
+    if cache is not None and result_key is not None:
+        cache.store_result(result_key, row)
+    return row
+
+
+def _execute_point_job(payload: tuple) -> tuple[dict, dict]:
+    """ProcessPoolExecutor.map adapter: returns (row, worker cache stats)."""
+    point, cache_dir, reuse_results, with_throughput, trace = payload
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    row = execute_point(
+        point,
+        cache_dir,
+        reuse_results=reuse_results,
+        with_throughput=with_throughput,
+        cache=cache,
+        trace=trace,
+    )
+    return row, cache.stats.as_dict() if cache is not None else {}
+
+
+def _prewarm_shared_traces(
+    pending: list[SweepPoint], cache: SweepCache | None
+) -> dict[int, object]:
+    """Generate traces shared by several pending points once, in the parent.
+
+    Concurrent workers for the same configuration would otherwise all miss
+    the cache simultaneously and regenerate the identical trace.  With a
+    persistent cache the pre-warmed trace is read back from disk by the
+    workers; without one it must travel in the task payload (worker processes
+    share no memory with the parent on spawn-style start methods), so the
+    returned mapping of point index -> trace covers every pending point whose
+    configuration is shared.
+    """
+    firsts: dict[str, SweepPoint] = {}
+    seen: dict[str, int] = {}
+    keys: dict[int, str] = {}
+    for point in pending:
+        key = config_fingerprint(point.config, seed=point.seed, scale=point.scale)
+        keys[point.index] = key
+        firsts.setdefault(key, point)
+        seen[key] = seen.get(key, 0) + 1
+    shipped_by_key: dict[str, object] = {}
+    for key, point in firsts.items():
+        if seen[key] < 2:
+            continue
+        if cache is not None:
+            cache.get_trace(point.config, seed=point.seed, scale=point.scale)
+        else:
+            shipped_by_key[key] = generate_trace(
+                point.config, seed=point.seed, scale=point.scale, cache=NO_CACHE
+            )
+    return {
+        index: shipped_by_key[key] for index, key in keys.items() if key in shipped_by_key
+    }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    reuse_results: bool = True,
+    with_throughput: bool = False,
+) -> SweepResult:
+    """Execute every point of ``spec`` and return the collected result rows."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    started = time.perf_counter()
+    points = spec.expand()
+
+    rows: dict[int, dict] = {}
+    pending: list[SweepPoint] = []
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    if cache is not None and reuse_results:
+        # Serve warm rows from the parent so a fully-cached sweep involves no
+        # worker processes at all (this is what makes reruns O(seconds)).
+        for point in points:
+            lookup_started = time.perf_counter()
+            row = cache.load_result(
+                point_result_key(cache, point, with_throughput=with_throughput)
+            )
+            if row is not None:
+                rows[point.index] = _as_cached_row(
+                    row, point, time.perf_counter() - lookup_started
+                )
+            else:
+                pending.append(point)
+    else:
+        pending = list(points)
+
+    worker_stats: list[dict] = []
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            shipped = _prewarm_shared_traces(pending, cache)
+            payloads = [
+                (point, cache_dir, False, with_throughput, shipped.get(point.index))
+                for point in pending
+            ]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                for point, (row, stats) in zip(pending, pool.map(_execute_point_job, payloads)):
+                    rows[point.index] = row
+                    worker_stats.append(stats)
+        else:
+            for point in pending:
+                rows[point.index] = execute_point(
+                    point,
+                    cache_dir,
+                    reuse_results=False,
+                    with_throughput=with_throughput,
+                    cache=cache,
+                )
+
+    cache_stats = cache.stats.as_dict() if cache is not None else {}
+    for stats in worker_stats:
+        for counter, value in stats.items():
+            cache_stats[counter] = cache_stats.get(counter, 0) + value
+    cache_stats["cached_rows"] = sum(1 for row in rows.values() if row.get("cached"))
+    return SweepResult(
+        spec_name=spec.name,
+        rows=[rows[index] for index in sorted(rows)],
+        elapsed_seconds=time.perf_counter() - started,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        cache_stats=cache_stats,
+    )

@@ -1,0 +1,106 @@
+"""Sweep result container and JSON/CSV writers."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class SweepResult:
+    """All rows of one executed sweep, plus execution metadata."""
+
+    spec_name: str
+    rows: list[dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+    cache_dir: str | None = None
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_cached(self) -> int:
+        """Rows served from the persistent result cache."""
+        return sum(1 for row in self.rows if row.get("cached"))
+
+    def columns(self) -> list[str]:
+        """Union of row keys in first-seen order (rows may differ in fields)."""
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    # ------------------------------------------------------------------ #
+    # Output formats
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec_name,
+            "num_points": self.num_points,
+            "num_cached": self.num_cached,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "cache_stats": self.cache_stats,
+            "rows": self.rows,
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
+
+    def write_csv(self, path: str | Path) -> None:
+        columns = self.columns()
+        with Path(path).open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def write(self, path: str | Path) -> None:
+        """Write to ``path``, picking the format from its extension (.json/.csv)."""
+        path = Path(path)
+        if path.suffix == ".json":
+            self.write_json(path)
+        elif path.suffix == ".csv":
+            self.write_csv(path)
+        else:
+            raise ValueError(f"unsupported output extension {path.suffix!r}; use .json or .csv")
+
+    def to_text(self, *, max_rows: int | None = None) -> str:
+        """Column-aligned plain-text rendering (what the CLI prints)."""
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        lines = [
+            f"== sweep {self.spec_name}: {self.num_points} points, "
+            f"{self.num_cached} cached, {self.elapsed_seconds:.2f}s with jobs={self.jobs} =="
+        ]
+        columns = [c for c in self.columns() if c not in ("description",)]
+        if shown and columns:
+            widths = {
+                column: max(len(column), *(len(_fmt(row.get(column, ""))) for row in shown))
+                for column in columns
+            }
+            header = "  ".join(column.ljust(widths[column]) for column in columns)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in shown:
+                lines.append(
+                    "  ".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+                )
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return ""
+    return str(value)

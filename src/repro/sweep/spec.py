@@ -1,0 +1,374 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a grid of workloads to evaluate: a cartesian
+product over :class:`~repro.workloads.training.TrainingConfig` fields (plus
+parallelism degrees, model names, optimization presets, seeds and trace
+scales), crossed with a list of allocators and -- for the STAlloc variants --
+an optional grid of :class:`~repro.core.stalloc.STAllocConfig` ablation knobs.
+
+Specs are plain JSON documents so sweeps can be version-controlled and shared::
+
+    {
+      "name": "mbs-vs-recompute",
+      "model": "gpt2-345m",
+      "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+      "base": {"num_microbatches": 4},
+      "grid": {"micro_batch_size": [1, 2, 4], "recompute": [false, true]},
+      "allocators": ["torch2.0", "torch2.3", "stalloc"],
+      "stalloc_grid": {"enable_fusion": [true, false]},
+      "scale": 0.5
+    }
+
+:func:`SweepSpec.expand` turns the spec into the ordered list of
+:class:`SweepPoint` objects the engine executes.  A few named presets are
+registered in :data:`SWEEP_PRESETS` for smoke tests and common studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+
+from repro.allocators.registry import available_allocators
+from repro.core.stalloc import STAllocConfig
+from repro.simulator.runner import STALLOC, STALLOC_NO_REUSE
+from repro.workloads.models import MODEL_REGISTRY, get_model
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.training import OPTIMIZATION_PRESETS, TrainingConfig, preset_config
+
+#: Grid axes that map onto ParallelismConfig fields.
+PARALLELISM_AXES = frozenset(f.name for f in dataclass_fields(ParallelismConfig))
+
+#: Grid axes that map onto TrainingConfig fields (model/parallelism/label are
+#: built separately; the remaining fields can all be swept directly).
+CONFIG_AXES = frozenset(
+    f.name for f in dataclass_fields(TrainingConfig)
+) - {"model", "parallelism", "label"}
+
+#: Grid axes with special handling during expansion.
+SPECIAL_AXES = frozenset({"model", "preset", "seed", "scale"})
+
+#: STAlloc ablation knobs accepted in ``stalloc_grid``.
+STALLOC_AXES = frozenset(f.name for f in dataclass_fields(STAllocConfig))
+
+#: Allocator names the stalloc knob grid applies to (the runner's variants).
+STALLOC_ALLOCATORS = frozenset({STALLOC, STALLOC_NO_REUSE})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved (configuration, allocator) cell of a sweep grid."""
+
+    index: int
+    config: TrainingConfig
+    allocator: str
+    seed: int = 0
+    scale: float = 1.0
+    device_name: str = "A800-80GB"
+    device_capacity_gib: float | None = None
+    #: STAllocConfig overrides, sorted by knob name (hashable + picklable).
+    stalloc_overrides: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def allocator_label(self) -> str:
+        """Allocator name decorated with any ablation knobs, e.g. ``stalloc[enable_fusion=False]``."""
+        if not self.stalloc_overrides:
+            return self.allocator
+        knobs = ",".join(f"{name}={value}" for name, value in self.stalloc_overrides)
+        return f"{self.allocator}[{knobs}]"
+
+    def cache_payload(self) -> dict:
+        """JSON-safe identity of this point, used to key the result cache."""
+        return {
+            "allocator": self.allocator,
+            "stalloc_overrides": {name: value for name, value in self.stalloc_overrides},
+            "seed": self.seed,
+            "scale": self.scale,
+            "device_name": self.device_name,
+            "device_capacity_gib": self.device_capacity_gib,
+        }
+
+
+@dataclass
+class SweepSpec:
+    """A declarative grid of TrainingConfig fields x allocators x STAlloc knobs."""
+
+    name: str
+    allocators: list[str]
+    model: str = "gpt2-345m"
+    parallelism: dict = field(default_factory=dict)
+    base: dict = field(default_factory=dict)
+    grid: dict = field(default_factory=dict)
+    stalloc_grid: dict = field(default_factory=dict)
+    device_name: str = "A800-80GB"
+    device_capacity_gib: float | None = None
+    seed: int = 0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.allocators:
+            raise ValueError("a sweep needs at least one allocator")
+        known_allocators = set(available_allocators()) | STALLOC_ALLOCATORS
+        for allocator in self.allocators:
+            if allocator not in known_allocators:
+                raise ValueError(
+                    f"unknown allocator {allocator!r}; available: "
+                    f"{', '.join(sorted(known_allocators))}"
+                )
+        for axis, values in self.grid.items():
+            if axis not in CONFIG_AXES and axis not in PARALLELISM_AXES and axis not in SPECIAL_AXES:
+                raise ValueError(
+                    f"unknown grid axis {axis!r}; expected a TrainingConfig field, a "
+                    f"parallelism degree, or one of {sorted(SPECIAL_AXES)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"grid axis {axis!r} must map to a non-empty list")
+        for axis, values in self.stalloc_grid.items():
+            if axis not in STALLOC_AXES:
+                raise ValueError(
+                    f"unknown stalloc_grid axis {axis!r}; expected one of {sorted(STALLOC_AXES)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"stalloc_grid axis {axis!r} must map to a non-empty list")
+        for key in self.base:
+            if key not in CONFIG_AXES:
+                raise ValueError(f"unknown base field {key!r}")
+        for key in self.parallelism:
+            if key not in PARALLELISM_AXES:
+                raise ValueError(f"unknown parallelism field {key!r}")
+        if "preset" in self.grid:
+            for preset in self.grid["preset"]:
+                if preset not in OPTIMIZATION_PRESETS:
+                    raise ValueError(
+                        f"unknown preset {preset!r}; available: {', '.join(OPTIMIZATION_PRESETS)}"
+                    )
+        for model_name in self.grid.get("model", [self.model]):
+            if model_name not in MODEL_REGISTRY:
+                raise ValueError(
+                    f"unknown model {model_name!r}; available: "
+                    f"{', '.join(sorted(MODEL_REGISTRY))}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a spec from a parsed JSON document (``device`` aliases ``device_name``)."""
+        data = dict(data)
+        if "device" in data:
+            data["device_name"] = data.pop("device")
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep spec fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SweepSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "allocators": list(self.allocators),
+            "model": self.model,
+            "parallelism": dict(self.parallelism),
+            "base": dict(self.base),
+            "grid": {axis: list(values) for axis, values in self.grid.items()},
+            "stalloc_grid": {axis: list(values) for axis, values in self.stalloc_grid.items()},
+            "device_name": self.device_name,
+            "device_capacity_gib": self.device_capacity_gib,
+            "seed": self.seed,
+            "scale": self.scale,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        """Number of grid cells the spec expands to (without building configs)."""
+        combos = 1
+        for values in self.grid.values():
+            combos *= len(values)
+        stalloc_combos = 1
+        for values in self.stalloc_grid.values():
+            stalloc_combos *= len(values)
+        points = 0
+        for allocator in self.allocators:
+            points += stalloc_combos if allocator in STALLOC_ALLOCATORS else 1
+        return combos * points
+
+    def expand(self) -> list[SweepPoint]:
+        """Materialise the grid into the ordered list of sweep points."""
+        axes = list(self.grid)
+        value_lists = [self.grid[axis] for axis in axes]
+        stalloc_axes = sorted(self.stalloc_grid)
+        stalloc_combos: list[tuple[tuple[str, object], ...]] = [
+            tuple(zip(stalloc_axes, combo))
+            for combo in itertools.product(*(self.stalloc_grid[axis] for axis in stalloc_axes))
+        ] or [()]
+
+        points: list[SweepPoint] = []
+        for combo in itertools.product(*value_lists):
+            assignment = dict(zip(axes, combo))
+            seed = assignment.pop("seed", self.seed)
+            scale = assignment.pop("scale", self.scale)
+            config = self._build_config(assignment)
+            for allocator in self.allocators:
+                for overrides in stalloc_combos if allocator in STALLOC_ALLOCATORS else [()]:
+                    points.append(
+                        SweepPoint(
+                            index=len(points),
+                            config=config,
+                            allocator=allocator,
+                            seed=seed,
+                            scale=scale,
+                            device_name=self.device_name,
+                            device_capacity_gib=self.device_capacity_gib,
+                            stalloc_overrides=overrides,
+                        )
+                    )
+        return points
+
+    def _build_config(self, assignment: dict) -> TrainingConfig:
+        """Resolve one grid assignment into a TrainingConfig."""
+        assignment = dict(assignment)
+        model = get_model(assignment.pop("model", self.model))
+        preset = assignment.pop("preset", None)
+        # Label every swept axis (parallelism included) so rows stay
+        # distinguishable even when only a parallelism degree varies.
+        label = _grid_label(preset, assignment)
+        parallelism_fields = dict(self.parallelism)
+        for axis in list(assignment):
+            if axis in PARALLELISM_AXES:
+                parallelism_fields[axis] = assignment.pop(axis)
+        parallelism = ParallelismConfig(**parallelism_fields)
+
+        config_fields = dict(self.base)
+        config_fields.update(assignment)
+        if preset is not None:
+            config = preset_config(
+                model,
+                preset,
+                parallelism=parallelism,
+                micro_batch_size=config_fields.pop("micro_batch_size", 1),
+                num_microbatches=config_fields.pop("num_microbatches", 8),
+                framework=config_fields.pop("framework", "megatron"),
+            )
+            if config_fields:
+                config = config.with_(**config_fields)
+            return config.with_(label=label)
+        return TrainingConfig(model=model, parallelism=parallelism, label=label, **config_fields)
+
+
+def _grid_label(preset: str | None, assignment: dict) -> str:
+    """Compact per-point label like ``R/mbs=2`` used in result rows."""
+    bits = []
+    if preset is not None:
+        bits.append(preset)
+    short = {
+        "micro_batch_size": "mbs",
+        "num_microbatches": "m",
+        "zero_stage": "zero",
+        "tensor_parallel": "tp",
+        "pipeline_parallel": "pp",
+        "data_parallel": "dp",
+        "expert_parallel": "ep",
+        "virtual_pipeline_chunks": "vpp",
+    }
+    for axis in assignment:
+        name = short.get(axis, axis)
+        value = assignment[axis]
+        if isinstance(value, bool):
+            if value:
+                bits.append(name)
+        else:
+            bits.append(f"{name}={value}")
+    return "/".join(bits)
+
+
+# ---------------------------------------------------------------------- #
+# Named presets
+# ---------------------------------------------------------------------- #
+#: Ready-made sweep specs: CI smoke tests, the paper's optimization grid, and
+#: the STAlloc ablation study.  ``stalloc-repro sweep <name>`` resolves here.
+SWEEP_PRESETS: dict[str, dict] = {
+    # Tiny grid for smoke tests: 2 x 2 configs x 2 allocators = 8 points.
+    "smoke": {
+        "name": "smoke",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"num_microbatches": 2},
+        "grid": {"micro_batch_size": [1, 2], "recompute": [False, True]},
+        "allocators": ["torch2.3", "stalloc"],
+        "scale": 0.25,
+    },
+    # 8 configs x 3 allocators = 24 points; the acceptance-test grid.
+    "quick-grid": {
+        "name": "quick-grid",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"num_microbatches": 4},
+        "grid": {
+            "micro_batch_size": [1, 2],
+            "recompute": [False, True],
+            "zero_stage": [0, 1],
+        },
+        "allocators": ["torch2.0", "torch2.3", "stalloc"],
+        "scale": 0.25,
+    },
+    # The Figure 8 GPT-2 study as a sweep: 6 presets x 5 allocators = 30 points.
+    "fig8-gpt2": {
+        "name": "fig8-gpt2",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"num_microbatches": 16},
+        "grid": {"preset": ["Naive", "R", "V", "VR", "ZR", "ZOR"], "micro_batch_size": [32]},
+        "allocators": ["torch2.0", "gmlake", "torch2.3", "torch_es", "stalloc"],
+    },
+    # STAlloc ablations (the §9.4 knobs) on a dense and a recompute config.
+    "stalloc-ablation": {
+        "name": "stalloc-ablation",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"micro_batch_size": 4, "num_microbatches": 4},
+        "grid": {"recompute": [False, True]},
+        "allocators": ["stalloc"],
+        "stalloc_grid": {
+            "enable_fusion": [True, False],
+            "enable_gap_insertion": [True, False],
+            "descending_size_order": [True, False],
+        },
+        "scale": 0.5,
+    },
+}
+
+
+def available_presets() -> list[str]:
+    """Names accepted by :func:`load_spec` (besides paths to JSON files)."""
+    return sorted(SWEEP_PRESETS)
+
+
+def load_spec(name_or_path: str | Path) -> SweepSpec:
+    """Resolve a preset name or a path to a JSON spec file into a SweepSpec."""
+    name = str(name_or_path)
+    if name in SWEEP_PRESETS:
+        return SweepSpec.from_dict(SWEEP_PRESETS[name])
+    path = Path(name_or_path)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            raise FileNotFoundError(f"sweep spec file not found: {path}")
+        return SweepSpec.from_file(path)
+    raise ValueError(
+        f"unknown sweep preset {name!r} (and no such file); available presets: "
+        f"{', '.join(available_presets())}"
+    )

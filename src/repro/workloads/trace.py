@@ -9,12 +9,23 @@ the replay simulator feeds them to allocators.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import Counter
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Iterator
 
-from repro.core.events import EventKind, MemoryRequest, Phase, PhaseKind, TensorCategory, TraceEvent, pair_events
+from repro.core.events import (
+    EventKind,
+    MemoryRequest,
+    Phase,
+    TensorCategory,
+    TraceEvent,
+    pair_events,
+    phase_from_dict,
+    phase_to_dict,
+)
 
 
 @dataclass(frozen=True)
@@ -112,74 +123,104 @@ class Trace:
     # ------------------------------------------------------------------ #
     # Serialization (line-oriented JSON, mirroring the real profiler's logs)
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> None:
-        """Write the trace as JSON-lines with a metadata header."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            header = {
-                "metadata": asdict(self.metadata),
-                "module_spans": self.module_spans,
-                "phases": [
-                    {
-                        "index": p.index,
-                        "kind": p.kind.value,
-                        "microbatch": p.microbatch,
-                        "chunk": p.chunk,
-                    }
-                    for p in self.phases
-                ],
-            }
-            handle.write(json.dumps(header) + "\n")
-            for event in self.events:
-                handle.write(
-                    json.dumps(
-                        {
-                            "kind": event.kind.value,
-                            "req_id": event.req_id,
-                            "size": event.size,
-                            "time": event.time,
-                            "phase": event.phase.index,
-                            "module": event.module,
-                            "dyn": event.dyn,
-                            "category": event.category.value,
-                            "tag": event.tag,
-                        }
-                    )
-                    + "\n"
-                )
+    def iter_jsonl(self) -> Iterator[str]:
+        """Yield the canonical JSON-lines serialization, one line at a time.
+
+        The encoding is canonical (sorted keys, fixed separators), so two
+        traces serialize to the same bytes exactly when their contents are
+        equal -- the property :meth:`digest` and the sweep cache rely on.
+        """
+        header = {
+            "metadata": asdict(self.metadata),
+            "module_spans": self.module_spans,
+            "phases": [phase_to_dict(p) for p in self.phases],
+        }
+        yield json.dumps(header, sort_keys=True, separators=(",", ":"))
+        for event in self.events:
+            yield json.dumps(
+                {
+                    "kind": event.kind.value,
+                    "req_id": event.req_id,
+                    "size": event.size,
+                    "time": event.time,
+                    "phase": event.phase.index,
+                    "module": event.module,
+                    "dyn": event.dyn,
+                    "category": event.category.value,
+                    "tag": event.tag,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+
+    def dumps(self) -> str:
+        """Serialize to the JSON-lines format of :meth:`save` as one string."""
+        return "\n".join(self.iter_jsonl()) + "\n"
 
     @classmethod
-    def load(cls, path: str | Path) -> "Trace":
-        """Read a trace written by :meth:`save`."""
-        path = Path(path)
-        with path.open("r", encoding="utf-8") as handle:
-            header = json.loads(handle.readline())
-            phases = [
-                Phase(
-                    index=entry["index"],
-                    kind=PhaseKind(entry["kind"]),
-                    microbatch=entry["microbatch"],
-                    chunk=entry["chunk"],
+    def _from_lines(cls, lines) -> "Trace":
+        """Build a trace from an iterable of JSON lines (streaming parse)."""
+        lines = iter(lines)
+        try:
+            header = json.loads(next(lines))
+        except StopIteration:
+            raise ValueError("empty trace serialization") from None
+        phases = [phase_from_dict(entry) for entry in header["phases"]]
+        phase_by_index = {phase.index: phase for phase in phases}
+        events = []
+        for line in lines:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            events.append(
+                TraceEvent(
+                    kind=EventKind(record["kind"]),
+                    req_id=record["req_id"],
+                    size=record["size"],
+                    time=record["time"],
+                    phase=phase_by_index[record["phase"]],
+                    module=record["module"],
+                    dyn=record["dyn"],
+                    category=TensorCategory(record["category"]),
+                    tag=record["tag"],
                 )
-                for entry in header["phases"]
-            ]
-            phase_by_index = {phase.index: phase for phase in phases}
-            events = []
-            for line in handle:
-                record = json.loads(line)
-                events.append(
-                    TraceEvent(
-                        kind=EventKind(record["kind"]),
-                        req_id=record["req_id"],
-                        size=record["size"],
-                        time=record["time"],
-                        phase=phase_by_index[record["phase"]],
-                        module=record["module"],
-                        dyn=record["dyn"],
-                        category=TensorCategory(record["category"]),
-                        tag=record["tag"],
-                    )
-                )
+            )
         metadata = TraceMetadata(**header["metadata"])
         module_spans = {name: tuple(span) for name, span in header["module_spans"].items()}
         return cls(events=events, metadata=metadata, phases=phases, module_spans=module_spans)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        """Parse a trace from the string produced by :meth:`dumps`."""
+        if not text:
+            raise ValueError("empty trace serialization")
+        return cls._from_lines(text.splitlines())
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization (content address of the trace).
+
+        Memoised: traces are treated as immutable once generated, and the
+        plan cache computes this once per (trace, knob-combination) pair.
+        """
+        cached = getattr(self, "_digest_cache", None)
+        if cached is None:
+            hasher = hashlib.sha256()
+            for line in self.iter_jsonl():
+                hasher.update(line.encode("utf-8"))
+                hasher.update(b"\n")
+            cached = hasher.hexdigest()
+            self._digest_cache = cached
+        return cached
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines with a metadata header (streamed)."""
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for line in self.iter_jsonl():
+                handle.write(line)
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save` (streamed)."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls._from_lines(line.rstrip("\n") for line in handle)

@@ -21,7 +21,9 @@ evaluated on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.core.events import EventKind, Phase, PhaseKind, TensorCategory, TraceEvent
 from repro.workloads.memory_model import MemoryModel, TensorSpec
@@ -29,6 +31,43 @@ from repro.workloads.moe import ExpertRouter
 from repro.workloads.schedule import PhaseSpec, build_schedule
 from repro.workloads.trace import Trace, TraceMetadata
 from repro.workloads.training import TrainingConfig
+
+
+#: Bump whenever the generator's event stream changes for an unchanged
+#: configuration, so persistent caches keyed by :func:`config_fingerprint`
+#: cannot serve traces produced by an older generator.
+TRACEGEN_VERSION = 1
+
+
+def config_fingerprint(
+    config: TrainingConfig,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    rank: int = 0,
+    size_jitter: tuple[float, ...] | None = None,
+    async_free_skew: int | None = None,
+) -> str:
+    """Stable content hash of everything that determines a generated trace.
+
+    Trace generation is deterministic (covered by the determinism regression
+    tests), so this fingerprint is a valid content address for the trace a
+    :class:`TraceGenerator` built from the same inputs would produce.  The
+    sweep cache uses it as the on-disk key for generated traces.
+    """
+    jitter = TraceGenerator.DEFAULT_SIZE_JITTER if size_jitter is None else tuple(size_jitter)
+    skew = TraceGenerator.DEFAULT_ASYNC_FREE_SKEW if async_free_skew is None else int(async_free_skew)
+    payload = {
+        "tracegen_version": TRACEGEN_VERSION,
+        "config": asdict(config),
+        "seed": int(seed),
+        "scale": float(scale),
+        "rank": int(rank),
+        "size_jitter": [float(f) for f in jitter],
+        "async_free_skew": skew,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -98,23 +137,8 @@ class TraceGenerator:
         )
         if self.async_free_skew < 0:
             raise ValueError("async_free_skew must be non-negative")
-        self._router: ExpertRouter | None = None
-        if config.model.is_moe:
-            self._router = ExpertRouter(
-                num_experts=config.model.num_experts,
-                num_local_experts=self.memory.num_local_experts,
-                top_k=config.model.moe_top_k,
-                seed=seed,
-            )
-        # Mutable generation state (reset on every generate() call).
-        self._events: list[TraceEvent] = []
-        self._phases: list[Phase] = []
-        self._clock = 0
-        self._next_req_id = 0
-        self._scoped: dict[tuple[int, int], _ScopedSet] = {}
-        self._offloaded: dict[tuple[int, int], dict[int, list[TensorSpec]]] = {}
-        self._expert_routing: dict[tuple[int, int, int], list[int]] = {}
-        self._module_spans: dict[str, list[int]] = {}
+        # Mutable generation state (re-initialised on every generate() call).
+        self._reset()
 
     # ------------------------------------------------------------------ #
     # Derived geometry
@@ -162,15 +186,29 @@ class TraceGenerator:
     # ------------------------------------------------------------------ #
     # Low-level emission helpers
     # ------------------------------------------------------------------ #
+    def _make_router(self) -> ExpertRouter | None:
+        if not self.config.model.is_moe:
+            return None
+        return ExpertRouter(
+            num_experts=self.config.model.num_experts,
+            num_local_experts=self.memory.num_local_experts,
+            top_k=self.config.model.moe_top_k,
+            seed=self.seed,
+        )
+
     def _reset(self) -> None:
-        self._events = []
-        self._phases = []
+        # Re-seed the expert router so repeated generate() calls on one
+        # generator emit byte-identical streams (the router draws from its RNG
+        # sequentially and would otherwise continue where the last run ended).
+        self._router: ExpertRouter | None = self._make_router()
+        self._events: list[TraceEvent] = []
+        self._phases: list[Phase] = []
         self._clock = 0
         self._next_req_id = 0
-        self._scoped = {}
-        self._offloaded = {}
-        self._expert_routing = {}
-        self._module_spans = {}
+        self._scoped: dict[tuple[int, int], _ScopedSet] = {}
+        self._offloaded: dict[tuple[int, int], dict[int, list[TensorSpec]]] = {}
+        self._expert_routing: dict[tuple[int, int, int], list[int]] = {}
+        self._module_spans: dict[str, list[int]] = {}
         self._deferred: list[tuple[int, _LiveTensor]] = []
         self._phase_step = 0
 

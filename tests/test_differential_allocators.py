@@ -1,0 +1,168 @@
+"""Differential allocator tests + replay accounting.
+
+All allocators replay the *same* trace, so the live-bytes curve -- and hence
+``peak_allocated`` -- is fully determined by the trace: allocators may only
+differ in how much they *reserve* (fragmentation).  These tests pin that down
+pairwise across every registered allocator plus the STAlloc variants, and
+cover the ``stop_on_oom=False`` bookkeeping of :func:`replay_trace`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocators.registry import available_allocators, create_allocator
+from repro.core.events import EventKind, Phase, PhaseKind, TensorCategory, TraceEvent
+from repro.gpu.device import Device, GIB, MIB
+from repro.simulator.replay import replay_trace
+from repro.simulator.runner import all_known_allocators, run_workload_suite
+from repro.workloads.trace import Trace, TraceMetadata
+from repro.workloads.tracegen import TraceGenerator
+
+BASELINES = available_allocators()
+
+
+@pytest.fixture(scope="module")
+def recompute_trace(tiny_dense_config):
+    return TraceGenerator(tiny_dense_config.with_(recompute=True), seed=1).generate()
+
+
+def _trace_for(name: str, request):
+    return request.getfixturevalue(name)
+
+
+TRACE_FIXTURES = ["dense_trace", "moe_trace", "recompute_trace"]
+
+
+@pytest.mark.parametrize("trace_name", TRACE_FIXTURES)
+@pytest.mark.parametrize("allocator_name", BASELINES)
+class TestReservedDominatesAllocated:
+    def test_peaks_are_consistent(self, allocator_name, trace_name, request):
+        trace = _trace_for(trace_name, request)
+        allocator = create_allocator(allocator_name, Device(name="big", capacity=400 * GIB))
+        result = replay_trace(trace, allocator)
+        assert result.success
+        # peak_allocated is trace-determined...
+        assert result.metrics.peak_allocated_bytes == trace.peak_allocated_bytes()
+        # ...and reservations can never undercut what is live.
+        assert result.metrics.peak_reserved_bytes >= result.metrics.peak_allocated_bytes
+        assert 0.0 < result.memory_efficiency <= 1.0
+
+
+@pytest.mark.parametrize("trace_name", TRACE_FIXTURES)
+class TestAllAllocatorsAgree:
+    def test_peak_allocated_identical_across_allocators(self, trace_name, request):
+        trace = _trace_for(trace_name, request)
+        peaks = {}
+        for name in BASELINES:
+            allocator = create_allocator(name, Device(name="big", capacity=400 * GIB))
+            result = replay_trace(trace, allocator)
+            assert result.success, f"{name} unexpectedly OOMed"
+            peaks[name] = result.metrics.peak_allocated_bytes
+        assert len(set(peaks.values())) == 1, f"allocators disagree on peak_allocated: {peaks}"
+
+
+@pytest.mark.parametrize("config_name", ["tiny_dense_config", "tiny_moe_config"])
+class TestSuiteIncludingSTAlloc:
+    def test_full_lineup_agrees_on_allocated(self, config_name, request):
+        """The runner's full line-up (incl. stalloc variants) agrees on M_a."""
+        config = request.getfixturevalue(config_name)
+        runs = run_workload_suite(config, all_known_allocators(), device_name="A800-80GB")
+        peaks = {name: run.replay.metrics.peak_allocated_bytes for name, run in runs.items()}
+        assert len(set(peaks.values())) == 1, f"lineup disagrees on peak_allocated: {peaks}"
+        for name, run in runs.items():
+            reserved = run.replay.metrics.peak_reserved_bytes
+            assert reserved >= peaks[name], f"{name} reserved less than allocated"
+
+
+# ---------------------------------------------------------------------- #
+# replay_trace(stop_on_oom=False) accounting
+# ---------------------------------------------------------------------- #
+def _phase(index: int) -> Phase:
+    return Phase(index=index, kind=PhaseKind.FORWARD, microbatch=0)
+
+
+def _mini_trace(events: list[tuple[str, int, int]]) -> Trace:
+    """Build a trace from (kind, req_id, size) triples."""
+    phase = _phase(0)
+    trace_events = [
+        TraceEvent(
+            kind=EventKind.ALLOC if kind == "alloc" else EventKind.FREE,
+            req_id=req_id,
+            size=size,
+            time=time,
+            phase=phase,
+            category=TensorCategory.TEMPORARY,
+        )
+        for time, (kind, req_id, size) in enumerate(events)
+    ]
+    return Trace(events=trace_events, metadata=TraceMetadata(), phases=[phase])
+
+
+class TestReplayOomAccounting:
+    def test_failed_alloc_and_its_free_are_both_skipped(self):
+        trace = _mini_trace(
+            [
+                ("alloc", 0, 1 * MIB),
+                ("alloc", 1, 512 * MIB),  # exceeds the 64 MiB device -> fails
+                ("free", 1, 512 * MIB),   # must be skipped, not replayed
+                ("alloc", 2, 1 * MIB),
+                ("free", 2, 1 * MIB),
+                ("free", 0, 1 * MIB),
+            ]
+        )
+        allocator = create_allocator("native", Device(name="tiny", capacity=64 * MIB))
+        result = replay_trace(trace, allocator, stop_on_oom=False)
+        assert not result.success
+        assert result.oom_at_event == 1
+        assert result.failed_allocs == 1
+        assert result.skipped_frees == 1
+        assert result.events_replayed == 4
+        assert result.events_replayed + result.events_skipped == trace.num_events
+
+    def test_every_event_is_either_replayed_or_skipped(self, dense_trace):
+        allocator = create_allocator("torch2.3", Device(name="tiny", capacity=1 * GIB))
+        result = replay_trace(dense_trace, allocator, stop_on_oom=False)
+        assert not result.success
+        assert result.failed_allocs > 0
+        assert result.events_replayed + result.events_skipped == dense_trace.num_events
+        # Persistent tensors fail too and are never freed within the trace,
+        # so at most every failed alloc has one matching skipped free.
+        assert result.skipped_frees <= result.failed_allocs
+
+    def test_repeated_oom_keeps_counting(self):
+        events = [("alloc", 0, 4 * MIB)]
+        for req_id in range(1, 5):
+            events.append(("alloc", req_id, 512 * MIB))
+            events.append(("free", req_id, 512 * MIB))
+        events.append(("free", 0, 4 * MIB))
+        trace = _mini_trace(events)
+        allocator = create_allocator("native", Device(name="tiny", capacity=64 * MIB))
+        result = replay_trace(trace, allocator, stop_on_oom=False)
+        assert result.failed_allocs == 4
+        assert result.skipped_frees == 4
+        assert result.events_replayed == 2
+        assert result.oom_at_event == 1  # first failure position is kept
+
+    def test_stop_on_oom_counts_partial_replay(self):
+        trace = _mini_trace(
+            [
+                ("alloc", 0, 1 * MIB),
+                ("alloc", 1, 512 * MIB),
+                ("free", 0, 1 * MIB),
+            ]
+        )
+        allocator = create_allocator("native", Device(name="tiny", capacity=64 * MIB))
+        result = replay_trace(trace, allocator, stop_on_oom=True)
+        assert not result.success
+        assert result.events_replayed == 1
+        assert result.failed_allocs == 1
+        assert result.skipped_frees == 0
+
+    def test_as_dict_reports_skip_counters_on_failure(self):
+        trace = _mini_trace([("alloc", 0, 512 * MIB), ("free", 0, 512 * MIB)])
+        allocator = create_allocator("native", Device(name="tiny", capacity=64 * MIB))
+        result = replay_trace(trace, allocator, stop_on_oom=False)
+        data = result.as_dict()
+        assert data["failed_allocs"] == 1
+        assert data["skipped_frees"] == 1

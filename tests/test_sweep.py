@@ -1,0 +1,433 @@
+"""Tests for the parallel sweep engine, its spec format and persistent cache."""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.stalloc import STAllocConfig
+from repro.simulator import runner
+from repro.sweep import (
+    SweepCache,
+    SweepSpec,
+    available_presets,
+    load_spec,
+    run_sweep,
+)
+from repro.sweep.spec import SWEEP_PRESETS
+from repro.workloads.tracegen import TraceGenerator, config_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _clean_runner_state():
+    """Keep the runner's process-wide cache settings isolated per test."""
+    yield
+    runner.set_persistent_cache(None)
+    runner.set_default_jobs(1)
+    runner.clear_trace_cache()
+
+
+def _tiny_spec(**overrides) -> SweepSpec:
+    data = {
+        "name": "tiny",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"num_microbatches": 2},
+        "grid": {"micro_batch_size": [1, 2]},
+        "allocators": ["torch2.3", "stalloc"],
+        "scale": 0.25,
+    }
+    data.update(overrides)
+    return SweepSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------- #
+# Spec parsing and expansion
+# ---------------------------------------------------------------------- #
+class TestSweepSpec:
+    @pytest.mark.parametrize("preset", sorted(SWEEP_PRESETS))
+    def test_presets_expand_to_declared_size(self, preset):
+        spec = load_spec(preset)
+        points = spec.expand()
+        assert len(points) == spec.num_points > 0
+        assert [p.index for p in points] == list(range(len(points)))
+
+    def test_quick_grid_preset_has_at_least_24_points(self):
+        assert load_spec("quick-grid").num_points >= 24
+
+    def test_grid_values_reach_the_config(self):
+        spec = _tiny_spec(grid={"micro_batch_size": [1, 2], "recompute": [False, True]})
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 2
+        combos = {(p.config.micro_batch_size, p.config.recompute, p.allocator) for p in points}
+        assert (2, True, "stalloc") in combos and (1, False, "torch2.3") in combos
+
+    def test_parallelism_and_model_axes(self):
+        spec = _tiny_spec(
+            grid={"pipeline_parallel": [2, 4], "model": ["gpt2-345m", "llama2-7b"]},
+        )
+        points = spec.expand()
+        assert {p.config.parallelism.pipeline_parallel for p in points} == {2, 4}
+        assert {p.config.model.name for p in points} == {"gpt2-345m", "llama2-7b"}
+        # Swept parallelism degrees must be visible in the row label.
+        assert {p.config.label for p in points} == {"pp=2", "pp=4"}
+
+    def test_preset_axis_builds_preset_configs(self):
+        spec = _tiny_spec(grid={"preset": ["Naive", "R"], "micro_batch_size": [1]})
+        points = spec.expand()
+        recompute = {p.config.label: p.config.recompute for p in points}
+        assert recompute["R/mbs=1"] is True
+        assert recompute["Naive/mbs=1"] is False
+
+    def test_stalloc_grid_only_applies_to_stalloc(self):
+        spec = _tiny_spec(stalloc_grid={"enable_fusion": [True, False]})
+        points = spec.expand()
+        # 2 configs x (torch2.3 + 2 stalloc variants) = 6 points
+        assert len(points) == 6
+        torch_points = [p for p in points if p.allocator == "torch2.3"]
+        assert all(p.stalloc_overrides == () for p in torch_points)
+        stalloc_labels = {p.allocator_label for p in points if p.allocator == "stalloc"}
+        assert stalloc_labels == {
+            "stalloc[enable_fusion=True]",
+            "stalloc[enable_fusion=False]",
+        }
+
+    def test_seed_and_scale_axes(self):
+        spec = _tiny_spec(grid={"micro_batch_size": [1], "seed": [0, 1], "scale": [0.25, 0.5]})
+        points = spec.expand()
+        assert {(p.seed, p.scale) for p in points} == {(0, 0.25), (0, 0.5), (1, 0.25), (1, 0.5)}
+
+    def test_unknown_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid axis"):
+            _tiny_spec(grid={"bogus_axis": [1]})
+
+    def test_unknown_stalloc_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown stalloc_grid axis"):
+            _tiny_spec(stalloc_grid={"bogus": [True]})
+
+    def test_empty_allocators_rejected(self):
+        with pytest.raises(ValueError, match="at least one allocator"):
+            _tiny_spec(allocators=[])
+
+    def test_unknown_allocator_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="unknown allocator 'torch9.9'"):
+            _tiny_spec(allocators=["torch2.3", "torch9.9"])
+
+    def test_unknown_model_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="unknown model 'gpt5'"):
+            _tiny_spec(model="gpt5")
+        with pytest.raises(ValueError, match="unknown model 'gpt5'"):
+            _tiny_spec(grid={"model": ["gpt2-345m", "gpt5"]})
+
+    def test_unknown_preset_value_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            _tiny_spec(grid={"preset": ["NotAPreset"]})
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep spec fields"):
+            SweepSpec.from_dict({"name": "x", "allocators": ["native"], "wat": 1})
+
+    def test_spec_file_roundtrip(self, tmp_path):
+        spec = _tiny_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        loaded = load_spec(path)
+        assert loaded.to_dict() == spec.to_dict()
+
+    def test_load_spec_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown sweep preset"):
+            load_spec("no-such-preset")
+
+    def test_available_presets_lists_smoke(self):
+        assert "smoke" in available_presets()
+        assert "quick-grid" in available_presets()
+
+
+# ---------------------------------------------------------------------- #
+# Cache layers
+# ---------------------------------------------------------------------- #
+class TestSweepCache:
+    def test_trace_cache_generates_then_hits(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        first = cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        assert cache.stats.trace_misses == 1
+        fingerprint = config_fingerprint(tiny_dense_config, seed=0, scale=0.25)
+        assert cache.trace_path(fingerprint).exists()
+        second = cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        assert cache.stats.trace_hits == 1
+        assert second.digest() == first.digest()
+
+    def test_corrupt_trace_entry_is_regenerated(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        fingerprint = config_fingerprint(tiny_dense_config, seed=0, scale=0.25)
+        cache.trace_path(fingerprint).write_text("not json\n", encoding="utf-8")
+        trace = cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        assert cache.stats.trace_misses == 2
+        assert trace.num_events > 0
+
+    def test_plan_cache_round_trips_stalloc(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        trace = TraceGenerator(tiny_dense_config, seed=0, scale=0.25).generate()
+        first = cache.get_stalloc(trace, STAllocConfig())
+        assert cache.stats.plan_misses == 1
+        second = cache.get_stalloc(trace, STAllocConfig())
+        assert cache.stats.plan_hits == 1
+        assert second.plan.pool_size == first.plan.pool_size
+        assert second.planning_report() == first.planning_report()
+        second.plan.static_plan.validate()
+
+    def test_plan_cache_distinguishes_knobs(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        trace = TraceGenerator(tiny_dense_config, seed=0, scale=0.25).generate()
+        cache.get_stalloc(trace, STAllocConfig())
+        cache.get_stalloc(trace, STAllocConfig(enable_gap_insertion=False))
+        assert cache.stats.plan_misses == 2
+
+    def test_result_cache_roundtrip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.result_key("fingerprint", {"allocator": "native"})
+        assert cache.load_result(key) is None
+        cache.store_result(key, {"status": "ok", "value": 1.5})
+        assert cache.load_result(key) == {"status": "ok", "value": 1.5}
+
+
+# ---------------------------------------------------------------------- #
+# Engine execution
+# ---------------------------------------------------------------------- #
+def _comparable(rows: list[dict]) -> list[dict]:
+    """Strip per-run timing/caching fields so rows compare by measurement."""
+    return [
+        {k: v for k, v in row.items() if k not in ("elapsed_seconds", "cached")} for row in rows
+    ]
+
+
+class TestSweepEngine:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_sweep_runs_and_rows_are_complete(self, jobs, tmp_path):
+        result = run_sweep(_tiny_spec(), jobs=jobs, cache_dir=tmp_path / "cache")
+        assert result.num_points == 4
+        assert all(row["status"] == "ok" for row in result.rows)
+        assert [row["point"] for row in result.rows] == [0, 1, 2, 3]
+        stalloc_rows = [row for row in result.rows if row["allocator"] == "stalloc"]
+        assert all("static_pool_gib" in row for row in stalloc_rows)
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial = run_sweep(_tiny_spec(), jobs=1)
+        parallel = run_sweep(_tiny_spec(), jobs=4)
+        assert _comparable(serial.rows) == _comparable(parallel.rows)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_second_run_is_fully_cached_and_identical(self, jobs, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_sweep(_tiny_spec(), jobs=jobs, cache_dir=cache_dir)
+        warm = run_sweep(_tiny_spec(), jobs=jobs, cache_dir=cache_dir)
+        assert cold.num_cached == 0
+        assert warm.num_cached == warm.num_points == cold.num_points
+        assert _comparable(warm.rows) == _comparable(cold.rows)
+
+    def test_reuse_results_false_recomputes_but_reuses_traces_and_plans(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir)
+        runner.clear_trace_cache()  # drop the in-memory memo; disk must serve traces
+        fresh = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir, reuse_results=False)
+        assert fresh.num_cached == 0
+        assert fresh.cache_stats["trace_hits"] > 0  # traces were reused from disk
+        assert fresh.cache_stats["plan_hits"] > 0  # stalloc plans were reused from disk
+
+    def test_sweep_without_cache_dir(self):
+        result = run_sweep(_tiny_spec(), jobs=1)
+        assert result.cache_dir is None
+        assert result.num_cached == 0
+
+    def test_with_throughput_is_part_of_the_result_cache_key(self, tmp_path):
+        """Cached rows without throughput must not satisfy a throughput sweep."""
+        cache_dir = tmp_path / "cache"
+        plain = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir)
+        assert all("tflops_per_gpu" not in row for row in plain.rows)
+        with_tp = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir, with_throughput=True)
+        assert with_tp.num_cached == 0
+        assert all("tflops_per_gpu" in row for row in with_tp.rows)
+        # And each variant hits its own cache on rerun.
+        again = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir, with_throughput=True)
+        assert again.num_cached == again.num_points
+
+    def test_parallel_cold_sweep_aggregates_worker_cache_stats(self, tmp_path):
+        result = run_sweep(_tiny_spec(), jobs=2, cache_dir=tmp_path / "cache")
+        assert result.cache_stats["trace_misses"] + result.cache_stats["trace_hits"] > 0
+        assert result.cache_stats["plan_misses"] > 0  # stalloc plans were synthesized
+
+    def test_cached_rows_are_reindexed_for_the_current_grid(self, tmp_path):
+        """A sweep whose grid orders points differently must not inherit the
+        original sweep's point indices from the result cache."""
+        cache_dir = tmp_path / "cache"
+        forward = _tiny_spec(grid={"micro_batch_size": [1, 2]}, allocators=["torch2.3"])
+        reversed_ = _tiny_spec(grid={"micro_batch_size": [2, 1]}, allocators=["torch2.3"])
+        run_sweep(forward, jobs=1, cache_dir=cache_dir)
+        warm = run_sweep(reversed_, jobs=1, cache_dir=cache_dir)
+        assert warm.num_cached == warm.num_points
+        assert [row["point"] for row in warm.rows] == [0, 1]
+        assert warm.rows[0]["config"] == "mbs=2"
+        assert warm.rows[1]["config"] == "mbs=1"
+
+    def test_configs_differing_only_in_seq_length_get_distinct_traces(self):
+        """The in-memory trace memo must key on the full config fingerprint."""
+        spec_short = _tiny_spec(
+            name="short", base={"num_microbatches": 2, "seq_length": 512},
+            grid={"micro_batch_size": [1]}, allocators=["torch2.3"],
+        )
+        spec_long = _tiny_spec(
+            name="long", base={"num_microbatches": 2, "seq_length": 2048},
+            grid={"micro_batch_size": [1]}, allocators=["torch2.3"],
+        )
+        short_row = run_sweep(spec_short, jobs=1).rows[0]
+        long_row = run_sweep(spec_long, jobs=1).rows[0]
+        assert long_row["allocated_gib"] > short_row["allocated_gib"]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            run_sweep(_tiny_spec(), jobs=0)
+
+
+class TestSweepResultOutputs:
+    def test_json_and_csv_outputs(self, tmp_path):
+        result = run_sweep(_tiny_spec(), jobs=1, cache_dir=tmp_path / "cache")
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        result.write(json_path)
+        result.write(csv_path)
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["spec"] == "tiny"
+        assert len(payload["rows"]) == result.num_points
+        with csv_path.open(encoding="utf-8", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == result.num_points
+        assert rows[0]["allocator"] == result.rows[0]["allocator"]
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        result = run_sweep(_tiny_spec(), jobs=1)
+        with pytest.raises(ValueError, match="unsupported output extension"):
+            result.write(tmp_path / "out.xlsx")
+
+    def test_to_text_mentions_spec_and_truncates(self):
+        result = run_sweep(_tiny_spec(), jobs=1)
+        text = result.to_text(max_rows=2)
+        assert "sweep tiny" in text
+        assert "more rows" in text
+
+
+# ---------------------------------------------------------------------- #
+# Acceptance: CLI end-to-end with >= 24 points, jobs=4, 5x cached speedup
+# ---------------------------------------------------------------------- #
+class TestSweepCli:
+    def test_quick_grid_cli_cold_then_cached_5x_faster(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        json_path = tmp_path / "results.json"
+        csv_path = tmp_path / "results.csv"
+        argv = [
+            "sweep",
+            "quick-grid",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            str(cache_dir),
+            "--output",
+            str(json_path),
+            "--output",
+            str(csv_path),
+        ]
+
+        started = time.perf_counter()
+        assert cli_main(argv) == 0
+        cold_seconds = time.perf_counter() - started
+
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["num_points"] >= 24
+        assert payload["num_cached"] == 0
+        assert all(row["status"] == "ok" for row in payload["rows"])
+        with csv_path.open(encoding="utf-8", newline="") as handle:
+            assert len(list(csv.DictReader(handle))) >= 24
+
+        started = time.perf_counter()
+        assert cli_main(argv) == 0
+        warm_seconds = time.perf_counter() - started
+
+        warm_payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert warm_payload["num_cached"] == warm_payload["num_points"]
+        assert _comparable(warm_payload["rows"]) == _comparable(payload["rows"])
+        assert warm_seconds * 5 <= cold_seconds, (
+            f"cached rerun not >=5x faster: cold={cold_seconds:.3f}s warm={warm_seconds:.3f}s"
+        )
+        capsys.readouterr()  # swallow the printed tables
+
+    def test_cli_list_presets(self, capsys):
+        assert cli_main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "quick-grid" in out and "smoke" in out
+
+    def test_cli_requires_spec(self, capsys):
+        assert cli_main(["sweep"]) == 2
+
+    def test_cli_rejects_bad_inputs_cleanly(self, capsys, tmp_path):
+        assert cli_main(["sweep", "no-such-preset", "--no-cache"]) == 2
+        assert cli_main(["sweep", "smoke", "--no-cache", "--jobs", "0"]) == 2
+        assert cli_main(["sweep", "smoke", "--no-cache", "--output", "x.xlsx"]) == 2
+        assert cli_main(["run", "fig8a", "--quick", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep preset" in err
+        assert "--jobs must be >= 1" in err
+        assert "unsupported --output extension" in err
+
+    def test_cli_no_cache_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "r.json"
+        assert (
+            cli_main(
+                ["sweep", "smoke", "--no-cache", "--output", str(out_path), "--max-rows", "0"]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["cache_dir"] is None
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------- #
+# Retrofit: existing runner/experiments route through the same machinery
+# ---------------------------------------------------------------------- #
+class TestRunnerIntegration:
+    def test_suite_parallel_matches_serial(self, tiny_dense_config, tmp_path):
+        runner.set_persistent_cache(str(tmp_path / "cache"))
+        serial = runner.run_workload_suite(
+            tiny_dense_config, ["torch2.0", "torch2.3", "stalloc"], jobs=1
+        )
+        parallel = runner.run_workload_suite(
+            tiny_dense_config, ["torch2.0", "torch2.3", "stalloc"], jobs=3
+        )
+        for name, run in serial.items():
+            assert parallel[name].replay.as_dict() == run.replay.as_dict()
+
+    def test_generate_trace_uses_persistent_cache(self, tiny_dense_config, tmp_path):
+        runner.set_persistent_cache(str(tmp_path / "cache"))
+        runner.clear_trace_cache()
+        first = runner.generate_trace(tiny_dense_config, scale=0.25)
+        fingerprint = config_fingerprint(tiny_dense_config, seed=0, scale=0.25)
+        assert (tmp_path / "cache" / "traces" / f"{fingerprint}.jsonl").exists()
+        runner.clear_trace_cache()  # drop the in-memory memo; disk must serve it
+        second = runner.generate_trace(tiny_dense_config, scale=0.25)
+        assert second.digest() == first.digest()
+
+    def test_configure_execution_installs_cache_and_jobs(self, tmp_path):
+        from repro.experiments.common import configure_execution, execution_settings
+
+        configure_execution(jobs=2, cache_dir=str(tmp_path / "cache"))
+        try:
+            assert execution_settings() == {"jobs": 2, "cache_dir": str(tmp_path / "cache")}
+            assert runner.persistent_cache_dir() == str(tmp_path / "cache")
+        finally:
+            configure_execution()
+        assert execution_settings() == {"jobs": 1, "cache_dir": None}
+        assert runner.persistent_cache_dir() is None
