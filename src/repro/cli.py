@@ -7,7 +7,9 @@ Usage::
     stalloc-repro run all --quick --jobs 4 --cache-dir .stalloc-cache
     stalloc-repro sweep quick-grid --jobs 4 --output results.json --output results.csv
     stalloc-repro sweep my_spec.json --jobs 8
+    stalloc-repro sweep job-smoke --compare baseline.json   # CI regression gate
     stalloc-repro sweep --list
+    stalloc-repro cache prune --max-gib 2
 """
 
 from __future__ import annotations
@@ -94,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--with-throughput",
         action="store_true",
-        help="also evaluate the analytical throughput model per point",
+        help="deprecated no-op: throughput columns are part of the default rows now",
     )
     sweep_parser.add_argument(
         "--max-rows",
@@ -102,6 +104,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         metavar="N",
         help="rows to print to stdout (default: %(default)s; outputs always get all rows)",
+    )
+    sweep_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help=(
+            "diff the sweep's rows against a previous results JSON file and exit "
+            "non-zero if any point regressed (peak memory up, throughput down, ok -> OOM)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="relative change a metric may move before --compare flags it (default: 0)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="manage the persistent trace/plan/result cache"
+    )
+    cache_parser.add_argument("action", choices=["prune"], help="cache operation to run")
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=".stalloc-repro-cache",
+        metavar="DIR",
+        help="cache directory to operate on (default: %(default)s)",
+    )
+    cache_parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict entries (oldest mtime first) until the cache is at most N bytes",
+    )
+    cache_parser.add_argument(
+        "--max-gib",
+        type=float,
+        default=None,
+        metavar="X",
+        help="like --max-bytes, in GiB",
     )
     return parser
 
@@ -121,7 +164,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.sweep import available_presets, load_spec, run_sweep
+    from repro.sweep import SweepResult, available_presets, compare_results, load_spec, run_sweep
 
     if args.list_presets:
         for preset in available_presets():
@@ -130,7 +173,7 @@ def _cmd_sweep(args) -> int:
     if args.spec is None:
         print("error: a sweep spec (preset name or JSON file) is required", file=sys.stderr)
         return 2
-    bad_outputs = [o for o in args.output if not o.endswith((".json", ".csv"))]
+    bad_outputs = [o for o in args.output if not o.lower().endswith((".json", ".csv"))]
     if bad_outputs:
         print(
             f"error: unsupported --output extension for {', '.join(bad_outputs)}; "
@@ -146,18 +189,53 @@ def _cmd_sweep(args) -> int:
     except (ValueError, FileNotFoundError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = SweepResult.load(args.compare)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load --compare baseline: {error}", file=sys.stderr)
+            return 2
     cache_dir = None if args.no_cache else args.cache_dir
     result = run_sweep(
         spec,
         jobs=args.jobs,
         cache_dir=cache_dir,
         reuse_results=not args.fresh,
-        with_throughput=args.with_throughput,
     )
     for output in args.output:
         result.write(output)
         print(f"wrote {output}", file=sys.stderr)
     print(result.to_text(max_rows=args.max_rows if args.max_rows >= 0 else None))
+    if baseline is not None:
+        report = compare_results(baseline, result, tolerance_pct=args.tolerance_pct)
+        print()
+        print(report.to_text())
+        return report.exit_code
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.sweep import SweepCache
+
+    if args.max_bytes is not None and args.max_gib is not None:
+        print("error: pass at most one of --max-bytes / --max-gib", file=sys.stderr)
+        return 2
+    max_bytes = args.max_bytes
+    if args.max_gib is not None:
+        max_bytes = int(args.max_gib * (1 << 30))
+    if max_bytes is not None and max_bytes < 0:
+        print(f"error: size limit must be >= 0, got {max_bytes}", file=sys.stderr)
+        return 2
+    cache = SweepCache(args.cache_dir)
+    report = cache.prune(max_bytes)
+    print(
+        f"pruned {args.cache_dir}: "
+        f"{report['stale_removed']} stale-version entries "
+        f"({report['stale_bytes']} bytes), "
+        f"{report['lru_removed']} LRU-evicted entries ({report['lru_bytes']} bytes); "
+        f"{report['remaining_files']} entries / {report['remaining_bytes']} bytes kept"
+    )
     return 0
 
 
@@ -175,6 +253,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _cmd_sweep(args)
+
+    if args.command == "cache":
+        return _cmd_cache(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

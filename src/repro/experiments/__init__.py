@@ -7,7 +7,7 @@ relevant allocators on a simulated device, and returns an
 the paper reports.  ``python -m repro.cli run <id>`` prints any of them.
 """
 
-from repro.experiments import fig1b, fig2, fig3, fig8, fig9, fig10, fig11, fig12, fig13, tables  # noqa: F401
+from repro.experiments import fig1b, fig2, fig3, fig8, fig9, fig10, fig11, fig12, fig13, jobs, tables  # noqa: F401
 from repro.experiments.common import (
     ExperimentResult,
     available_experiments,

@@ -31,7 +31,7 @@ from repro.allocators.registry import available_allocators, create_allocator
 from repro.core.stalloc import STAlloc, STAllocConfig
 from repro.gpu.device import Device, GIB
 from repro.simulator.replay import ReplayResult, replay_trace
-from repro.simulator.throughput import GPU_SPECS, ThroughputModel
+from repro.simulator.throughput import GPU_SPECS, ThroughputEstimate, ThroughputModel
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceGenerator, config_fingerprint
 from repro.workloads.training import TrainingConfig
@@ -44,13 +44,14 @@ STALLOC_NO_REUSE = "stalloc_no_reuse"
 
 @dataclass
 class WorkloadRun:
-    """One (configuration, allocator) measurement."""
+    """One (configuration, allocator, rank) measurement."""
 
     config: TrainingConfig
     allocator_name: str
     replay: ReplayResult
     device_name: str
-    tflops: float | None = None
+    rank: int = 0
+    throughput: ThroughputEstimate | None = None
     planning_report: dict = field(default_factory=dict)
 
     @property
@@ -65,14 +66,27 @@ class WorkloadRun:
     def success(self) -> bool:
         return self.replay.success
 
+    @property
+    def tflops(self) -> float | None:
+        """Per-GPU model TFLOPS, when the throughput model was evaluated."""
+        return self.throughput.tflops_per_gpu if self.throughput is not None else None
+
+    @property
+    def tokens_per_second(self) -> float | None:
+        return self.throughput.tokens_per_second if self.throughput is not None else None
+
     def as_dict(self) -> dict:
         data = {
             "config": self.config.describe(),
             "device": self.device_name,
+            "rank": self.rank,
         }
         data.update(self.replay.as_dict())
-        if self.tflops is not None:
-            data["tflops_per_gpu"] = round(self.tflops, 1)
+        if self.throughput is not None:
+            # Full precision on purpose: rounding is display-only (see
+            # repro.sweep.results._fmt), so result diffs compare real values.
+            data["tflops_per_gpu"] = self.throughput.tflops_per_gpu
+            data["tokens_per_second"] = self.throughput.tokens_per_second
         return data
 
 
@@ -91,13 +105,15 @@ class _TraceCache:
         self.maxsize = maxsize
         self._traces: dict[str, Trace] = {}
 
-    def get(self, config: TrainingConfig, *, seed: int, scale: float, loader=None) -> Trace:
-        key = config_fingerprint(config, seed=seed, scale=scale)
+    def get(
+        self, config: TrainingConfig, *, seed: int, scale: float, rank: int = 0, loader=None
+    ) -> Trace:
+        key = config_fingerprint(config, seed=seed, scale=scale, rank=rank)
         if key in self._traces:
             self._traces[key] = self._traces.pop(key)  # refresh LRU position
         else:
             if loader is None:
-                loader = TraceGenerator(config, seed=seed, scale=scale).generate
+                loader = TraceGenerator(config, seed=seed, scale=scale, rank=rank).generate
             self._traces[key] = loader()
             while len(self._traces) > self.maxsize:
                 self._traces.pop(next(iter(self._traces)))
@@ -177,19 +193,21 @@ def set_default_jobs(jobs: int) -> None:
 
 
 def generate_trace(
-    config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, cache=None
+    config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, rank: int = 0, cache=None
 ) -> Trace:
-    """Generate (or fetch from cache) the allocation trace of a configuration.
+    """Generate (or fetch from cache) one rank's allocation trace.
 
     Lookup order: the in-process memo, then the on-disk cache (``cache`` if
     given, else the installed persistent cache; pass :data:`NO_CACHE` to skip
     disk entirely) which generates and stores on miss, then plain generation.
+    Every cache layer keys on the full config fingerprint *including* the
+    rank, so per-rank traces of one job never alias each other.
     """
     cache = _resolve_cache(cache)
     loader = None
     if cache is not None:
-        loader = lambda: cache.get_trace(config, seed=seed, scale=scale)  # noqa: E731
-    return _TRACE_CACHE.get(config, seed=seed, scale=scale, loader=loader)
+        loader = lambda: cache.get_trace(config, seed=seed, scale=scale, rank=rank)  # noqa: E731
+    return _TRACE_CACHE.get(config, seed=seed, scale=scale, rank=rank, loader=loader)
 
 
 def _stalloc_config(name: str, overrides: dict | None) -> STAllocConfig:
@@ -233,6 +251,7 @@ def run_workload(
     device_capacity_gib: float | None = None,
     seed: int = 0,
     scale: float = 1.0,
+    rank: int = 0,
     with_throughput: bool = False,
     trace: Trace | None = None,
     stalloc_overrides: dict | None = None,
@@ -241,15 +260,17 @@ def run_workload(
     """Run one configuration through one allocator and collect metrics.
 
     This is the pure per-run worker: it has no side effects beyond the caches
-    and is what the sweep engine executes in worker processes.
-    ``stalloc_overrides`` optionally overrides STAllocConfig knobs for the
-    STAlloc variants (ablation sweeps); other allocators ignore it.  ``cache``
-    optionally routes trace/plan lookups through an explicit
+    and is what the sweep engine executes in worker processes.  ``rank``
+    selects the pipeline rank being simulated (rank 0 by default, matching
+    the single-rank behaviour of earlier releases).  ``stalloc_overrides``
+    optionally overrides STAllocConfig knobs for the STAlloc variants
+    (ablation sweeps); other allocators ignore it.  ``cache`` optionally
+    routes trace/plan lookups through an explicit
     :class:`repro.sweep.cache.SweepCache` instead of the installed persistent
     cache.
     """
     if trace is None:
-        trace = generate_trace(config, seed=seed, scale=scale, cache=cache)
+        trace = generate_trace(config, seed=seed, scale=scale, rank=rank, cache=cache)
     gpu = GPU_SPECS.get(device_name)
     capacity_gib = device_capacity_gib if device_capacity_gib is not None else (
         gpu.memory_gib if gpu else 80
@@ -259,16 +280,19 @@ def run_workload(
         allocator_name, device, trace, stalloc_overrides, cache=cache
     )
     replay = replay_trace(trace, allocator)
-    tflops = None
+    throughput = None
     if with_throughput and gpu is not None:
         model = ThroughputModel(gpu)
-        tflops = model.tflops(config, allocator_overhead_seconds=replay.overhead_seconds)
+        throughput = model.estimate(
+            config, allocator_overhead_seconds=replay.overhead_seconds
+        )
     return WorkloadRun(
         config=config,
         allocator_name=allocator_name,
         replay=replay,
         device_name=device_name,
-        tflops=tflops,
+        rank=rank,
+        throughput=throughput,
         planning_report=planning_report,
     )
 
@@ -295,15 +319,18 @@ def run_workload_suite(
     device_capacity_gib: float | None = None,
     seed: int = 0,
     scale: float = 1.0,
+    rank: int = 0,
     with_throughput: bool = False,
     jobs: int | None = None,
 ) -> dict[str, WorkloadRun]:
     """Run one configuration through several allocators, sharing the trace.
 
-    ``jobs`` sets the number of worker processes the allocators fan out over;
-    ``None`` uses the module default (see :func:`set_default_jobs`, configured
-    through ``repro.experiments.common.configure_execution`` / the CLI) and
-    ``1`` keeps the serial in-process path.
+    ``rank`` selects the simulated pipeline rank (shared by every allocator of
+    the suite).  ``jobs`` sets the number of worker processes the allocators
+    fan out over; ``None`` uses the module default (see
+    :func:`set_default_jobs`, configured through
+    ``repro.experiments.common.configure_execution`` / the CLI) and ``1``
+    keeps the serial in-process path.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
     kwargs = dict(
@@ -311,13 +338,14 @@ def run_workload_suite(
         device_capacity_gib=device_capacity_gib,
         seed=seed,
         scale=scale,
+        rank=rank,
         with_throughput=with_throughput,
     )
     if jobs > 1 and len(allocator_names) > 1:
         # Generate the trace once up front.  With a persistent cache the
         # workers read it back from disk; without one it is shipped to them
         # in the payload (correct on every multiprocessing start method).
-        trace = generate_trace(config, seed=seed, scale=scale)
+        trace = generate_trace(config, seed=seed, scale=scale, rank=rank)
         shipped = None if persistent_cache_dir() is not None else trace
         payloads = [
             (config, name, kwargs, persistent_cache_dir(), shipped)
@@ -326,8 +354,248 @@ def run_workload_suite(
         workers = min(jobs, len(allocator_names))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return dict(pool.map(_suite_worker, payloads))
-    trace = generate_trace(config, seed=seed, scale=scale)
+    trace = generate_trace(config, seed=seed, scale=scale, rank=rank)
     return {name: run_workload(config, name, trace=trace, **kwargs) for name in allocator_names}
+
+
+# ---------------------------------------------------------------------- #
+# Job-level (multi-rank) orchestration
+# ---------------------------------------------------------------------- #
+def resolve_job_ranks(config: TrainingConfig, ranks=None) -> list[tuple[int, ...]]:
+    """Resolve a rank selection into memory-equivalence classes to simulate.
+
+    ``ranks`` is ``None`` (rank 0 only -- the single-rank behaviour of earlier
+    releases), the string ``"all"`` (every pipeline stage of the job), or an
+    iterable of pipeline ranks.  The returned classes partition the requested
+    ranks so that simulating one representative per class (its first member)
+    covers every requested rank: class members generate event-identical
+    traces, so a PP=8 job needs at most 8 -- and with few micro-batches far
+    fewer -- trace generations and replays.
+    """
+    pipeline = config.parallelism.pipeline_parallel
+    if ranks is None:
+        requested = {0}
+    elif isinstance(ranks, str):
+        if ranks != "all":
+            raise ValueError(f"ranks must be 'all' or a list of ints, got {ranks!r}")
+        requested = set(range(pipeline))
+    else:
+        requested = {int(rank) for rank in ranks}
+        if not requested:
+            raise ValueError("ranks must not be empty")
+    for rank in requested:
+        if not 0 <= rank < pipeline:
+            raise ValueError(
+                f"rank {rank} out of range for pipeline_parallel={pipeline}"
+            )
+    classes = config.parallelism.rank_equivalence_classes(config.num_microbatches)
+    restricted = [
+        tuple(rank for rank in cls if rank in requested) for cls in classes
+    ]
+    return [cls for cls in restricted if cls]
+
+
+@dataclass
+class JobRun:
+    """One (configuration, allocator) measurement across a job's ranks.
+
+    ``rank_classes`` partitions the simulated ranks into memory-equivalence
+    classes; ``class_runs`` holds one :class:`WorkloadRun` per class (its
+    representative rank's replay), in the same order.  Aggregates weight each
+    class by its member count, so deduplicated execution reports exactly what
+    an exhaustive per-rank run would.
+    """
+
+    config: TrainingConfig
+    allocator_name: str
+    device_name: str
+    rank_classes: list[tuple[int, ...]]
+    class_runs: list[WorkloadRun]
+    throughput: ThroughputEstimate | None = None
+
+    @property
+    def ranks(self) -> list[int]:
+        """Every simulated rank, ascending."""
+        return sorted(rank for cls in self.rank_classes for rank in cls)
+
+    @property
+    def num_ranks(self) -> int:
+        return sum(len(cls) for cls in self.rank_classes)
+
+    @property
+    def success(self) -> bool:
+        """A job fits only if every one of its ranks fits."""
+        return all(run.success for run in self.class_runs)
+
+    def runs_by_rank(self) -> dict[int, WorkloadRun]:
+        """Expand the per-class runs to every requested rank."""
+        expanded: dict[int, WorkloadRun] = {}
+        for cls, run in zip(self.rank_classes, self.class_runs):
+            for rank in cls:
+                expanded[rank] = run
+        return dict(sorted(expanded.items()))
+
+    @property
+    def binding_class_index(self) -> int:
+        peaks = [run.replay.metrics.peak_allocated_gib for run in self.class_runs]
+        return max(range(len(peaks)), key=peaks.__getitem__)
+
+    @property
+    def binding_rank(self) -> int:
+        """The rank whose peak allocated memory decides whether the job fits."""
+        return self.rank_classes[self.binding_class_index][0]
+
+    @property
+    def binding_run(self) -> WorkloadRun:
+        return self.class_runs[self.binding_class_index]
+
+    @property
+    def peak_allocated_gib(self) -> float:
+        """Job peak: the max over per-rank peaks (the binding rank's peak)."""
+        return max(run.replay.metrics.peak_allocated_gib for run in self.class_runs)
+
+    @property
+    def mean_peak_allocated_gib(self) -> float:
+        """Per-rank peak averaged over every requested rank (class-weighted)."""
+        total = sum(
+            len(cls) * run.replay.metrics.peak_allocated_gib
+            for cls, run in zip(self.rank_classes, self.class_runs)
+        )
+        return total / self.num_ranks
+
+    @property
+    def peak_reserved_gib(self) -> float:
+        return max(run.replay.metrics.peak_reserved_gib for run in self.class_runs)
+
+    @property
+    def oom_ranks(self) -> list[int]:
+        """Every requested rank whose replay ran out of memory."""
+        return sorted(
+            rank
+            for cls, run in zip(self.rank_classes, self.class_runs)
+            if not run.success
+            for rank in cls
+        )
+
+    @property
+    def tflops(self) -> float | None:
+        return self.throughput.tflops_per_gpu if self.throughput is not None else None
+
+    @property
+    def tokens_per_second(self) -> float | None:
+        return self.throughput.tokens_per_second if self.throughput is not None else None
+
+    def as_dict(self) -> dict:
+        binding = self.binding_run
+        data = {
+            "config": self.config.describe(),
+            "device": self.device_name,
+            "allocator": self.allocator_name,
+            "ranks": self.ranks,
+            "num_ranks": self.num_ranks,
+            "unique_ranks": len(self.class_runs),
+            "success": self.success,
+            "binding_rank": self.binding_rank,
+            "peak_allocated_gib": self.peak_allocated_gib,
+            "mean_peak_allocated_gib": self.mean_peak_allocated_gib,
+            "peak_reserved_gib": self.peak_reserved_gib,
+            "per_rank_peak_allocated_gib": {
+                str(rank): run.replay.metrics.peak_allocated_gib
+                for rank, run in self.runs_by_rank().items()
+            },
+        }
+        if self.oom_ranks:
+            data["oom_ranks"] = self.oom_ranks
+        if self.throughput is not None:
+            data["tflops_per_gpu"] = self.throughput.tflops_per_gpu
+            data["tokens_per_second"] = self.throughput.tokens_per_second
+        return data
+
+
+def _job_rank_worker(payload: tuple) -> tuple[int, WorkloadRun]:
+    """Process-pool entry point: replay one representative rank of a job."""
+    config, allocator_name, rank, kwargs, cache_dir, trace = payload
+    if cache_dir is not None and persistent_cache_dir() != cache_dir:
+        set_persistent_cache(cache_dir)
+    return rank, run_workload(config, allocator_name, rank=rank, trace=trace, **kwargs)
+
+
+def run_job(
+    config: TrainingConfig,
+    allocator_name: str,
+    *,
+    ranks="all",
+    device_name: str = "A800-80GB",
+    device_capacity_gib: float | None = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    with_throughput: bool = True,
+    stalloc_overrides: dict | None = None,
+    cache=None,
+    jobs: int | None = None,
+    traces: dict[int, Trace] | None = None,
+) -> JobRun:
+    """Run one whole-job measurement: every requested rank, one allocator.
+
+    Ranks are deduplicated into memory-equivalence classes first (see
+    :func:`resolve_job_ranks`); each class representative is generated and
+    replayed once -- independently cached by the content-addressed trace/plan
+    cache -- and ``jobs`` > 1 fans the representatives out over the existing
+    worker-pool machinery.  ``traces`` optionally supplies pre-generated
+    traces by rank (the sweep engine ships shared traces to workers this way).
+    """
+    jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
+    rank_classes = resolve_job_ranks(config, ranks)
+    representatives = [cls[0] for cls in rank_classes]
+    kwargs = dict(
+        device_name=device_name,
+        device_capacity_gib=device_capacity_gib,
+        seed=seed,
+        scale=scale,
+        # Per-rank throughput estimates would all be recomputed (and
+        # discarded) below; only replay.overhead_seconds is needed from the
+        # per-rank runs, so the model is evaluated once at the job level.
+        with_throughput=False,
+        stalloc_overrides=stalloc_overrides,
+    )
+    traces = traces or {}
+    runs: dict[int, WorkloadRun] = {}
+    if jobs > 1 and len(representatives) > 1 and cache is None:
+        payloads = [
+            (config, allocator_name, rank, kwargs, persistent_cache_dir(), traces.get(rank))
+            for rank in representatives
+        ]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(representatives))) as pool:
+            runs.update(dict(pool.map(_job_rank_worker, payloads)))
+    else:
+        for rank in representatives:
+            runs[rank] = run_workload(
+                config,
+                allocator_name,
+                rank=rank,
+                trace=traces.get(rank),
+                cache=cache,
+                **kwargs,
+            )
+    class_runs = [runs[rank] for rank in representatives]
+    throughput = None
+    if with_throughput:
+        gpu = GPU_SPECS.get(device_name)
+        if gpu is not None:
+            # The pipeline advances at the pace of its slowest rank, so the
+            # job-level estimate charges the worst per-rank allocator overhead.
+            overhead = max(run.replay.overhead_seconds for run in class_runs)
+            throughput = ThroughputModel(gpu).estimate(
+                config, allocator_overhead_seconds=overhead
+            )
+    return JobRun(
+        config=config,
+        allocator_name=allocator_name,
+        device_name=device_name,
+        rank_classes=rank_classes,
+        class_runs=class_runs,
+        throughput=throughput,
+    )
 
 
 def default_allocator_lineup(*, include_stalloc: bool = True) -> list[str]:

@@ -52,18 +52,28 @@ class ThroughputEstimate:
     model_flops_per_iteration: float
     num_gpus: int
     allocator_overhead_seconds: float = 0.0
+    tokens_per_iteration: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock of one iteration including allocator overhead."""
+        return self.iteration_seconds + self.allocator_overhead_seconds
 
     @property
     def tflops_per_gpu(self) -> float:
         """Model-FLOPs throughput per GPU (the number frameworks report)."""
-        total_time = self.iteration_seconds + self.allocator_overhead_seconds
+        total_time = self.total_seconds
         if total_time <= 0:
             return 0.0
         return self.model_flops_per_iteration / self.num_gpus / total_time / 1e12
 
     @property
     def tokens_per_second(self) -> float:
-        return 0.0 if self.iteration_seconds <= 0 else 1.0 / self.iteration_seconds
+        """Training tokens consumed per second across the whole job."""
+        total_time = self.total_seconds
+        if total_time <= 0:
+            return 0.0
+        return self.tokens_per_iteration / total_time
 
 
 class ThroughputModel:
@@ -156,6 +166,7 @@ class ThroughputModel:
             model_flops_per_iteration=model_flops,
             num_gpus=num_gpus,
             allocator_overhead_seconds=allocator_overhead_seconds,
+            tokens_per_iteration=config.tokens_per_iteration,
         )
 
     def tflops(self, config: TrainingConfig, *, allocator_overhead_seconds: float = 0.0) -> float:

@@ -2,12 +2,17 @@
 
 Sweeps evaluate grids of (TrainingConfig x allocator x STAlloc knob)
 combinations -- declaratively specified as JSON or picked from named presets
--- across worker processes, memoising generated traces, synthesized STAlloc
-plans and finished result rows on disk so repeated sweeps skip regeneration
-entirely.  See ``README.md`` ("Sweeps") for the spec format and cache layout.
+-- across worker processes, memoising generated per-rank traces, synthesized
+STAlloc plans and finished result rows on disk so repeated sweeps skip
+regeneration entirely.  A sweep point may cover every pipeline rank of its
+job (``"ranks": "all"``); its row then reports job-level aggregates (binding
+rank, max/mean peak, throughput).  ``compare_results`` diffs two result files
+for CI regression gating.  See ``README.md`` ("Sweeps") for the spec format
+and cache layout.
 """
 
-from repro.sweep.cache import CacheStats, SweepCache
+from repro.sweep.cache import RESULT_FORMAT_VERSION, CacheStats, SweepCache
+from repro.sweep.compare import CompareReport, compare_results
 from repro.sweep.engine import execute_point, run_sweep
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import (
@@ -20,12 +25,15 @@ from repro.sweep.spec import (
 
 __all__ = [
     "CacheStats",
+    "CompareReport",
+    "RESULT_FORMAT_VERSION",
     "SweepCache",
     "SweepPoint",
     "SweepSpec",
     "SweepResult",
     "SWEEP_PRESETS",
     "available_presets",
+    "compare_results",
     "execute_point",
     "load_spec",
     "run_sweep",

@@ -29,11 +29,19 @@ from pathlib import Path
 from repro.core.stalloc import PLAN_FORMAT_VERSION, STAlloc, STAllocConfig
 from repro.version import __version__
 from repro.workloads.trace import Trace
-from repro.workloads.tracegen import TraceGenerator, config_fingerprint
+from repro.workloads.tracegen import TRACEGEN_VERSION, TraceGenerator, config_fingerprint
 from repro.workloads.training import TrainingConfig
 
 #: Bump to invalidate every cached result row (e.g. when row fields change).
-RESULT_FORMAT_VERSION = 1
+#: Version 2: job-level rows (multi-rank aggregation, binding rank, default
+#: throughput columns) and full-precision float serialization.
+RESULT_FORMAT_VERSION = 2
+
+#: Key under which :meth:`SweepCache.store_result` embeds the writer's result
+#: format version inside each stored row (stripped again on load); lets
+#: :meth:`SweepCache.prune` identify rows written by an older format even
+#: though the file name is an opaque content hash.
+_RESULT_VERSION_KEY = "_result_format_version"
 
 
 @dataclass
@@ -86,10 +94,15 @@ class SweepCache:
         return self.traces_dir / f"{fingerprint}.jsonl"
 
     def get_trace(
-        self, config: TrainingConfig, *, seed: int = 0, scale: float = 1.0
+        self, config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, rank: int = 0
     ) -> Trace:
-        """Load the config's trace from disk, generating and storing on miss."""
-        fingerprint = config_fingerprint(config, seed=seed, scale=scale)
+        """Load one rank's trace from disk, generating and storing on miss.
+
+        The fingerprint includes the rank, so per-rank traces of one job are
+        cached (and looked up) independently -- a trace generated for rank 0
+        can never satisfy a request for another rank.
+        """
+        fingerprint = config_fingerprint(config, seed=seed, scale=scale, rank=rank)
         path = self.trace_path(fingerprint)
         if path.exists():
             try:
@@ -99,7 +112,7 @@ class SweepCache:
             except (ValueError, KeyError, TypeError, json.JSONDecodeError):
                 path.unlink(missing_ok=True)  # corrupt entry: fall through to regenerate
         self.stats.trace_misses += 1
-        trace = TraceGenerator(config, seed=seed, scale=scale).generate()
+        trace = TraceGenerator(config, seed=seed, scale=scale, rank=rank).generate()
         _atomic_write_text(path, trace.dumps())
         return trace
 
@@ -173,8 +186,99 @@ class SweepCache:
             path.unlink(missing_ok=True)
             self.stats.result_misses += 1
             return None
+        row.pop(_RESULT_VERSION_KEY, None)
         self.stats.result_hits += 1
         return row
 
     def store_result(self, key: str, row: dict) -> None:
-        _atomic_write_text(self.result_path(key), json.dumps(row))
+        stored = dict(row)
+        stored[_RESULT_VERSION_KEY] = RESULT_FORMAT_VERSION
+        _atomic_write_text(self.result_path(key), json.dumps(stored))
+
+    # ------------------------------------------------------------------ #
+    # Eviction
+    # ------------------------------------------------------------------ #
+    def size_bytes(self) -> int:
+        """Total bytes currently held by the cache (all layers)."""
+        return sum(
+            entry.stat().st_size
+            for directory in (self.traces_dir, self.plans_dir, self.results_dir)
+            for entry in directory.glob("*")
+            if entry.is_file()
+        )
+
+    def _is_stale(self, path: Path) -> bool:
+        """Whether a cache entry was written by an older format version.
+
+        Keys are opaque content hashes, so staleness is decided from each
+        entry's *content*: traces carry the generator version in their
+        metadata header, plans their ``format_version``, and result rows the
+        version :meth:`store_result` embeds.  Unreadable entries count as
+        stale.  Entries keyed by an older version can never be served again
+        (the current keys hash the current versions), so sweeping them only
+        reclaims dead bytes.
+        """
+        try:
+            if path.parent == self.traces_dir:
+                with path.open("r", encoding="utf-8") as handle:
+                    header = json.loads(handle.readline())
+                return header["metadata"].get("tracegen_version", 0) != TRACEGEN_VERSION
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if path.parent == self.plans_dir:
+                return payload.get("format_version") != PLAN_FORMAT_VERSION
+            return payload.get(_RESULT_VERSION_KEY) != RESULT_FORMAT_VERSION
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return True
+
+    def prune(self, max_bytes: int | None = None) -> dict:
+        """Evict stale-version entries, then LRU-evict down to ``max_bytes``.
+
+        The cache otherwise grows without bound: every new configuration,
+        rank, knob combination or format bump adds entries and nothing ever
+        removes them.  ``prune`` first drops entries written by an older
+        trace/plan/result format (unreachable garbage after a version bump),
+        then -- when ``max_bytes`` is given -- removes the least recently
+        *used* entries (by mtime; readers are served via ``os.replace`` so a
+        hit refreshes nothing, making mtime the write/refresh time, which is
+        the best available recency signal) until the cache fits.  Returns a
+        report dict with the removal counts and byte totals.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        stale_removed = 0
+        stale_bytes = 0
+        entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
+        for directory in (self.traces_dir, self.plans_dir, self.results_dir):
+            for path in directory.glob("*"):
+                if not path.is_file():
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if path.suffix == ".tmp" or self._is_stale(path):
+                    path.unlink(missing_ok=True)
+                    stale_removed += 1
+                    stale_bytes += stat.st_size
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        lru_removed = 0
+        lru_bytes = 0
+        remaining = sum(size for _, size, _ in entries)
+        if max_bytes is not None:
+            entries.sort()  # oldest first
+            for _, size, path in entries:
+                if remaining <= max_bytes:
+                    break
+                path.unlink(missing_ok=True)
+                remaining -= size
+                lru_removed += 1
+                lru_bytes += size
+        return {
+            "stale_removed": stale_removed,
+            "stale_bytes": stale_bytes,
+            "lru_removed": lru_removed,
+            "lru_bytes": lru_bytes,
+            "remaining_files": len(entries) - lru_removed,
+            "remaining_bytes": remaining,
+        }

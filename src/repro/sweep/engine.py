@@ -1,13 +1,17 @@
 """Process-parallel sweep execution.
 
 :func:`run_sweep` executes every point of a :class:`~repro.sweep.spec.SweepSpec`
-through the pure per-run worker (:func:`repro.simulator.runner.run_workload`)
-and collects one flat result row per point.  Execution is:
+through the job-level runner (:func:`repro.simulator.runner.run_job`) and
+collects one flat result row per point.  A point may cover several pipeline
+ranks (``ranks`` in the spec); its row then aggregates the per-rank replays --
+job success, max/mean per-rank peak, the binding rank -- and every row carries
+the analytical throughput estimates (``tflops_per_gpu``,
+``tokens_per_second``) by default.  Execution is:
 
 * **cached** -- with a cache directory, finished rows are served straight from
   the persistent result cache (checked in the parent, so a fully-warm sweep
   never even spawns workers), and cache-missing points still reuse on-disk
-  traces and synthesized plans;
+  per-rank traces and synthesized plans;
 * **parallel** -- cache-missing points fan out over a
   :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers;
   ``jobs=1`` is the serial in-process fallback producing identical results.
@@ -18,17 +22,33 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.simulator.runner import NO_CACHE, generate_trace, run_workload
+from repro.simulator.runner import NO_CACHE, generate_trace, resolve_job_ranks, run_job
 from repro.sweep.cache import SweepCache
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.workloads.tracegen import config_fingerprint
 
 
-def _point_row(point: SweepPoint, run, elapsed: float) -> dict:
-    """Flatten one WorkloadRun into the sweep's row format."""
-    replay = run.replay
-    metrics = replay.metrics
+def _ranks_label(ranks: tuple[int, ...]) -> str:
+    """Compact rendering of a rank tuple: ``0``, ``0-3`` or ``0,2,5``."""
+    if len(ranks) == 1:
+        return str(ranks[0])
+    if list(ranks) == list(range(ranks[0], ranks[-1] + 1)):
+        return f"{ranks[0]}-{ranks[-1]}"
+    return ",".join(str(rank) for rank in ranks)
+
+
+def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
+    """Flatten one JobRun into the sweep's row format.
+
+    Memory-efficiency and fragmentation report the *binding* rank (the rank
+    whose peak decides whether the job fits); ``allocated_gib`` is the job
+    peak (max over ranks) and ``allocated_mean_gib`` the class-weighted mean.
+    Float metrics are stored at full precision -- rounding is display-only
+    (``repro.sweep.results._fmt``) so ``--compare`` diffs real values.
+    """
+    binding = job.binding_run
+    metrics = binding.replay.metrics
     row = {
         "point": point.index,
         "model": point.config.model.name,
@@ -37,21 +57,31 @@ def _point_row(point: SweepPoint, run, elapsed: float) -> dict:
         "seed": point.seed,
         "scale": point.scale,
         "device": point.device_name,
-        "status": "ok" if replay.success else "OOM",
-        "memory_efficiency_pct": round(100 * metrics.memory_efficiency, 1),
-        "fragmentation_pct": round(100 * metrics.fragmentation_ratio, 1),
-        "allocated_gib": round(metrics.peak_allocated_gib, 3),
-        "reserved_gib": round(metrics.peak_reserved_gib, 3),
-        "events_replayed": replay.events_replayed,
+        "ranks": _ranks_label(point.ranks),
+        "num_ranks": job.num_ranks,
+        "unique_ranks": len(job.class_runs),
+        "status": "ok" if job.success else "OOM",
+        "binding_rank": job.binding_rank,
+        "memory_efficiency_pct": 100 * metrics.memory_efficiency,
+        "fragmentation_pct": 100 * metrics.fragmentation_ratio,
+        "allocated_gib": job.peak_allocated_gib,
+        "allocated_mean_gib": job.mean_peak_allocated_gib,
+        "reserved_gib": job.peak_reserved_gib,
+        "events_replayed": sum(run.replay.events_replayed for run in job.class_runs),
         "elapsed_seconds": round(elapsed, 4),
         "cached": False,
         "description": point.config.describe(),
     }
-    if not replay.success:
-        row["oom_at_event"] = replay.oom_at_event
-    if run.tflops is not None:
-        row["tflops_per_gpu"] = round(run.tflops, 1)
-    pool_bytes = run.planning_report.get("static_pool_bytes") if run.planning_report else None
+    if job.throughput is not None:
+        row["tflops_per_gpu"] = job.throughput.tflops_per_gpu
+        row["tokens_per_second"] = job.throughput.tokens_per_second
+    if not job.success:
+        row["oom_ranks"] = job.oom_ranks
+        failed = next(run for run in job.class_runs if not run.success)
+        row["oom_at_event"] = failed.replay.oom_at_event
+    pool_bytes = (
+        binding.planning_report.get("static_pool_bytes") if binding.planning_report else None
+    )
     if pool_bytes:
         row["static_pool_gib"] = round(pool_bytes / (1 << 30), 3)
     return row
@@ -71,18 +101,14 @@ def _as_cached_row(row: dict, point: SweepPoint, elapsed: float) -> dict:
     return row
 
 
-def point_result_key(
-    cache: SweepCache, point: SweepPoint, *, with_throughput: bool = False
-) -> str:
+def point_result_key(cache: SweepCache, point: SweepPoint) -> str:
     """Result-cache key of one sweep point (trace fingerprint + point identity).
 
-    ``with_throughput`` is part of the key: rows computed without the
-    throughput model must not satisfy a ``--with-throughput`` sweep.
+    The point's rank tuple is part of its cache payload, so single-rank and
+    job-level rows for the same configuration never alias each other.
     """
     fingerprint = config_fingerprint(point.config, seed=point.seed, scale=point.scale)
-    payload = point.cache_payload()
-    payload["with_throughput"] = bool(with_throughput)
-    return cache.result_key(fingerprint, payload)
+    return cache.result_key(fingerprint, point.cache_payload())
 
 
 def execute_point(
@@ -90,16 +116,15 @@ def execute_point(
     cache_dir: str | None = None,
     *,
     reuse_results: bool = True,
-    with_throughput: bool = False,
     cache: SweepCache | None = None,
-    trace=None,
+    traces: dict | None = None,
 ) -> dict:
     """Run one sweep point (the unit of work executed in worker processes).
 
     ``cache`` optionally supplies an existing :class:`SweepCache` for
     ``cache_dir`` (the serial path shares the orchestrator's instance so its
     hit/miss statistics aggregate); workers construct their own from the dir.
-    ``trace`` optionally supplies the point's trace directly (cache-less
+    ``traces`` optionally supplies pre-generated traces by rank (cache-less
     parallel sweeps ship shared traces to workers this way).
     """
     started = time.perf_counter()
@@ -107,36 +132,34 @@ def execute_point(
         cache = SweepCache(cache_dir)
     result_key = None
     if cache is not None:
-        result_key = point_result_key(cache, point, with_throughput=with_throughput)
+        result_key = point_result_key(cache, point)
         if reuse_results:
             row = cache.load_result(result_key)
             if row is not None:
                 return _as_cached_row(row, point, time.perf_counter() - started)
 
-    # Resolve the trace through the runner's in-process memo layered over this
-    # point's on-disk cache, then run with the cache threaded explicitly so
-    # synthesized STAlloc plans persist (and their hit/miss counters land on
-    # the stats we report) without touching any process-global state.  A sweep
-    # without a cache dir must really not cache -- NO_CACHE keeps a globally
-    # installed persistent cache from sneaking back in.
+    # Run the whole job with the cache threaded explicitly so per-rank traces
+    # and synthesized STAlloc plans persist (and their hit/miss counters land
+    # on the stats we report) without touching any process-global state.  A
+    # sweep without a cache dir must really not cache -- NO_CACHE keeps a
+    # globally installed persistent cache from sneaking back in.  jobs=1: the
+    # sweep already parallelises across points, so ranks stay in-process.
     point_cache = cache if cache is not None else NO_CACHE
-    if trace is None:
-        trace = generate_trace(
-            point.config, seed=point.seed, scale=point.scale, cache=point_cache
-        )
-    run = run_workload(
+    job = run_job(
         point.config,
         point.allocator,
+        ranks=point.ranks,
         device_name=point.device_name,
         device_capacity_gib=point.device_capacity_gib,
         seed=point.seed,
         scale=point.scale,
-        with_throughput=with_throughput,
-        trace=trace,
+        with_throughput=True,
         stalloc_overrides=dict(point.stalloc_overrides),
         cache=point_cache,
+        jobs=1,
+        traces=traces,
     )
-    row = _point_row(point, run, time.perf_counter() - started)
+    row = _point_row(point, job, time.perf_counter() - started)
     if cache is not None and result_key is not None:
         cache.store_result(result_key, row)
     return row
@@ -144,31 +167,30 @@ def execute_point(
 
 def _execute_point_job(payload: tuple) -> tuple[dict, dict]:
     """ProcessPoolExecutor.map adapter: returns (row, worker cache stats)."""
-    point, cache_dir, reuse_results, with_throughput, trace = payload
+    point, cache_dir, reuse_results, traces = payload
     cache = SweepCache(cache_dir) if cache_dir is not None else None
     row = execute_point(
         point,
         cache_dir,
         reuse_results=reuse_results,
-        with_throughput=with_throughput,
         cache=cache,
-        trace=trace,
+        traces=traces,
     )
     return row, cache.stats.as_dict() if cache is not None else {}
 
 
 def _prewarm_shared_traces(
     pending: list[SweepPoint], cache: SweepCache | None
-) -> dict[int, object]:
+) -> dict[int, dict]:
     """Generate traces shared by several pending points once, in the parent.
 
     Concurrent workers for the same configuration would otherwise all miss
-    the cache simultaneously and regenerate the identical trace.  With a
-    persistent cache the pre-warmed trace is read back from disk by the
-    workers; without one it must travel in the task payload (worker processes
-    share no memory with the parent on spawn-style start methods), so the
-    returned mapping of point index -> trace covers every pending point whose
-    configuration is shared.
+    the cache simultaneously and regenerate the identical per-rank traces.
+    With a persistent cache the pre-warmed traces are read back from disk by
+    the workers; without one they must travel in the task payload (worker
+    processes share no memory with the parent on spawn-style start methods),
+    so the returned mapping of point index -> {rank: trace} covers every
+    pending point whose configuration is shared.
     """
     firsts: dict[str, SweepPoint] = {}
     seen: dict[str, int] = {}
@@ -178,16 +200,21 @@ def _prewarm_shared_traces(
         keys[point.index] = key
         firsts.setdefault(key, point)
         seen[key] = seen.get(key, 0) + 1
-    shipped_by_key: dict[str, object] = {}
+    shipped_by_key: dict[str, dict] = {}
     for key, point in firsts.items():
         if seen[key] < 2:
             continue
+        representatives = [cls[0] for cls in resolve_job_ranks(point.config, point.ranks)]
         if cache is not None:
-            cache.get_trace(point.config, seed=point.seed, scale=point.scale)
+            for rank in representatives:
+                cache.get_trace(point.config, seed=point.seed, scale=point.scale, rank=rank)
         else:
-            shipped_by_key[key] = generate_trace(
-                point.config, seed=point.seed, scale=point.scale, cache=NO_CACHE
-            )
+            shipped_by_key[key] = {
+                rank: generate_trace(
+                    point.config, seed=point.seed, scale=point.scale, rank=rank, cache=NO_CACHE
+                )
+                for rank in representatives
+            }
     return {
         index: shipped_by_key[key] for index, key in keys.items() if key in shipped_by_key
     }
@@ -199,7 +226,6 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: str | None = None,
     reuse_results: bool = True,
-    with_throughput: bool = False,
 ) -> SweepResult:
     """Execute every point of ``spec`` and return the collected result rows."""
     if jobs < 1:
@@ -216,9 +242,7 @@ def run_sweep(
         # worker processes at all (this is what makes reruns O(seconds)).
         for point in points:
             lookup_started = time.perf_counter()
-            row = cache.load_result(
-                point_result_key(cache, point, with_throughput=with_throughput)
-            )
+            row = cache.load_result(point_result_key(cache, point))
             if row is not None:
                 rows[point.index] = _as_cached_row(
                     row, point, time.perf_counter() - lookup_started
@@ -233,7 +257,7 @@ def run_sweep(
         if jobs > 1 and len(pending) > 1:
             shipped = _prewarm_shared_traces(pending, cache)
             payloads = [
-                (point, cache_dir, False, with_throughput, shipped.get(point.index))
+                (point, cache_dir, False, shipped.get(point.index))
                 for point in pending
             ]
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
@@ -246,7 +270,6 @@ def run_sweep(
                     point,
                     cache_dir,
                     reuse_results=False,
-                    with_throughput=with_throughput,
                     cache=cache,
                 )
 

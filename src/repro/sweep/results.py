@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -64,14 +65,39 @@ class SweepResult:
                 writer.writerow(row)
 
     def write(self, path: str | Path) -> None:
-        """Write to ``path``, picking the format from its extension (.json/.csv)."""
+        """Write to ``path``, picking the format from its extension (.json/.csv).
+
+        The extension check is case-insensitive, so ``results.JSON`` (as
+        produced by e.g. case-preserving tooling on Windows) works too.
+        """
         path = Path(path)
-        if path.suffix == ".json":
+        suffix = path.suffix.lower()
+        if suffix == ".json":
             self.write_json(path)
-        elif path.suffix == ".csv":
+        elif suffix == ".csv":
             self.write_csv(path)
         else:
             raise ValueError(f"unsupported output extension {path.suffix!r}; use .json or .csv")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        """Rebuild a result from the document :meth:`as_dict` produced."""
+        return cls(
+            spec_name=payload.get("spec", ""),
+            rows=list(payload.get("rows", [])),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            jobs=int(payload.get("jobs", 1)),
+            cache_dir=payload.get("cache_dir"),
+            cache_stats=dict(payload.get("cache_stats", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        """Read a results file written by :meth:`write_json` (``--compare`` input)."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "rows" not in payload:
+            raise ValueError(f"{path} is not a sweep results file (no 'rows' key)")
+        return cls.from_dict(payload)
 
     def to_text(self, *, max_rows: int | None = None) -> str:
         """Column-aligned plain-text rendering (what the CLI prints)."""
@@ -99,7 +125,17 @@ class SweepResult:
 
 
 def _fmt(value) -> str:
+    """Display-only formatting of row values.
+
+    Rounding happens here -- and only here -- so serialized rows keep full
+    precision for ``--compare`` diffs.  Non-finite floats get explicit fixed
+    labels instead of whatever ``format()`` produces, keeping columns aligned.
+    """
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         return f"{value:.3f}"
     if value is None:
         return ""

@@ -69,6 +69,9 @@ class SweepPoint:
     scale: float = 1.0
     device_name: str = "A800-80GB"
     device_capacity_gib: float | None = None
+    #: Pipeline ranks this point simulates (job-level aggregation over all of
+    #: them); ``(0,)`` reproduces the single-rank behaviour of earlier specs.
+    ranks: tuple[int, ...] = (0,)
     #: STAllocConfig overrides, sorted by knob name (hashable + picklable).
     stalloc_overrides: tuple[tuple[str, object], ...] = ()
 
@@ -89,6 +92,9 @@ class SweepPoint:
             "scale": self.scale,
             "device_name": self.device_name,
             "device_capacity_gib": self.device_capacity_gib,
+            # Part of the key on purpose: a row aggregated over rank 0 only
+            # must never satisfy a job-level (all-ranks) sweep or vice versa.
+            "ranks": list(self.ranks),
         }
 
 
@@ -107,10 +113,29 @@ class SweepSpec:
     device_capacity_gib: float | None = None
     seed: int = 0
     scale: float = 1.0
+    #: ``None`` (rank 0 only), ``"all"`` (every pipeline stage -- job-level
+    #: simulation), or an explicit list of pipeline ranks.
+    ranks: object = None
 
     def __post_init__(self) -> None:
         if not self.allocators:
             raise ValueError("a sweep needs at least one allocator")
+        if self.ranks is not None:
+            if isinstance(self.ranks, str):
+                if self.ranks != "all":
+                    raise ValueError(
+                        f"ranks must be 'all' or a list of ints, got {self.ranks!r}"
+                    )
+            elif isinstance(self.ranks, (list, tuple)):
+                if not self.ranks or not all(
+                    isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0
+                    for rank in self.ranks
+                ):
+                    raise ValueError("ranks must be a non-empty list of ints >= 0")
+            else:
+                raise ValueError(
+                    f"ranks must be 'all' or a list of ints, got {self.ranks!r}"
+                )
         known_allocators = set(available_allocators()) | STALLOC_ALLOCATORS
         for allocator in self.allocators:
             if allocator not in known_allocators:
@@ -188,6 +213,7 @@ class SweepSpec:
             "device_capacity_gib": self.device_capacity_gib,
             "seed": self.seed,
             "scale": self.scale,
+            "ranks": list(self.ranks) if isinstance(self.ranks, (list, tuple)) else self.ranks,
         }
 
     # ------------------------------------------------------------------ #
@@ -223,6 +249,7 @@ class SweepSpec:
             seed = assignment.pop("seed", self.seed)
             scale = assignment.pop("scale", self.scale)
             config = self._build_config(assignment)
+            ranks = self._resolve_ranks(config)
             for allocator in self.allocators:
                 for overrides in stalloc_combos if allocator in STALLOC_ALLOCATORS else [()]:
                     points.append(
@@ -234,10 +261,27 @@ class SweepSpec:
                             scale=scale,
                             device_name=self.device_name,
                             device_capacity_gib=self.device_capacity_gib,
+                            ranks=ranks,
                             stalloc_overrides=overrides,
                         )
                     )
         return points
+
+    def _resolve_ranks(self, config: TrainingConfig) -> tuple[int, ...]:
+        """Concrete rank tuple for one grid cell (``"all"`` needs the config's PP)."""
+        pipeline = config.parallelism.pipeline_parallel
+        if self.ranks is None:
+            return (0,)
+        if self.ranks == "all":
+            return tuple(range(pipeline))
+        ranks = tuple(sorted({int(rank) for rank in self.ranks}))
+        for rank in ranks:
+            if rank >= pipeline:
+                raise ValueError(
+                    f"rank {rank} out of range for pipeline_parallel={pipeline} "
+                    f"(config {config.describe()!r})"
+                )
+        return ranks
 
     def _build_config(self, assignment: dict) -> TrainingConfig:
         """Resolve one grid assignment into a TrainingConfig."""
@@ -334,6 +378,18 @@ SWEEP_PRESETS: dict[str, dict] = {
         "base": {"num_microbatches": 16},
         "grid": {"preset": ["Naive", "R", "V", "VR", "ZR", "ZOR"], "micro_batch_size": [32]},
         "allocators": ["torch2.0", "gmlake", "torch2.3", "torch_es", "stalloc"],
+    },
+    # Job-level smoke: every pipeline rank of a PP=4 job is simulated and
+    # aggregated into one row per point (binding rank, job peak, throughput).
+    "job-smoke": {
+        "name": "job-smoke",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "base": {"num_microbatches": 4},
+        "grid": {"preset": ["Naive", "R"], "micro_batch_size": [4]},
+        "allocators": ["torch2.3", "stalloc"],
+        "ranks": "all",
+        "scale": 0.5,
     },
     # STAlloc ablations (the §9.4 knobs) on a dense and a recompute config.
     "stalloc-ablation": {

@@ -53,10 +53,22 @@ class MemoryModel:
     """Computes tensor sizes for one pipeline rank of a training config."""
 
     def __init__(self, config: TrainingConfig, *, rank: int = 0):
+        if not 0 <= rank < config.parallelism.pipeline_parallel:
+            raise ValueError(
+                f"rank must be in [0, {config.parallelism.pipeline_parallel}), got {rank}"
+            )
         self.config = config
         self.model = config.model
         self.parallelism = config.parallelism
         self.rank = rank
+
+    @property
+    def is_first_stage(self) -> bool:
+        return self.rank == 0
+
+    @property
+    def is_last_stage(self) -> bool:
+        return self.rank == self.parallelism.pipeline_parallel - 1
 
     # ------------------------------------------------------------------ #
     # Shorthand
@@ -129,16 +141,20 @@ class MemoryModel:
         """Weights, gradients and optimizer states allocated at start-up."""
         specs: list[TensorSpec] = []
         layers = self.parallelism.layers_per_rank(self.model.num_layers)
-        if self.rank == 0:
-            embedding = self.embedding_bytes()
+        embedding = self.embedding_bytes()
+        embedding_grad = _round512(
+            embedding * self.config.grad_dtype_bytes / self.config.param_dtype_bytes
+        )
+        if self.is_first_stage:
             specs.append(TensorSpec("embedding.weight", embedding, TensorCategory.WEIGHT))
             specs.append(
-                TensorSpec(
-                    "embedding.grad",
-                    _round512(embedding * self.config.grad_dtype_bytes / self.config.param_dtype_bytes),
-                    TensorCategory.GRADIENT,
-                )
+                TensorSpec("embedding.grad", embedding_grad, TensorCategory.GRADIENT)
             )
+        if self.is_last_stage and self.parallelism.pipeline_parallel > 1:
+            # Megatron-style tied embeddings: the last stage holds its own copy
+            # of the (input==output) embedding for the LM head plus its grad.
+            specs.append(TensorSpec("lm_head.weight", embedding, TensorCategory.WEIGHT))
+            specs.append(TensorSpec("lm_head.grad", embedding_grad, TensorCategory.GRADIENT))
         weight = self.layer_weight_bytes()
         grad = self.layer_grad_bytes()
         optim = self.layer_optimizer_bytes()
@@ -214,6 +230,18 @@ class MemoryModel:
         """P2P activation receive buffer between pipeline stages."""
         size = _round512(self.tokens * self.model.hidden_size * ACT_BYTES)
         return TensorSpec("pp_recv_buffer", size, TensorCategory.COMM_BUFFER)
+
+    def logits_activation(self) -> TensorSpec:
+        """fp32 vocabulary logits of one micro-batch on the last stage.
+
+        The LM head projects to the (tensor-parallel sharded) vocabulary and
+        the cross-entropy loss keeps the logits in fp32 until the micro-batch's
+        backward pass -- by far the largest activation on the last stage, and
+        the reason the binding rank of a job is often the final pipeline stage
+        once recomputation has shrunk everyone else's activations.
+        """
+        size = _round512(self.tokens * self.model.vocab_size * 4 / self.tp)
+        return TensorSpec("lm_head_logits", size, TensorCategory.ACTIVATION, True)
 
     # ------------------------------------------------------------------ #
     # MoE expert tensors (dynamic sizes)

@@ -66,6 +66,53 @@ class ParallelismConfig:
             )
         return per_rank // self.virtual_pipeline_chunks
 
+    # ------------------------------------------------------------------ #
+    # Per-rank memory equivalence
+    # ------------------------------------------------------------------ #
+    def in_flight_microbatches(self, rank: int, num_microbatches: int) -> int:
+        """Peak concurrently-live (micro-batch, chunk) units on pipeline ``rank``.
+
+        Under 1F1B (and its interleaved variant) stage ``r`` warms up with
+        ``min(p - r, m)`` micro-batches, so earlier stages pin more activation
+        memory -- the per-stage asymmetry job-level simulation has to model.
+        """
+        if not 0 <= rank < self.pipeline_parallel:
+            raise ValueError(
+                f"rank must be in [0, {self.pipeline_parallel}), got {rank}"
+            )
+        chunks = self.virtual_pipeline_chunks
+        return min(num_microbatches * chunks, (self.pipeline_parallel - rank) * chunks)
+
+    def rank_memory_key(self, rank: int, num_microbatches: int) -> tuple:
+        """Hashable key identifying the memory behaviour of pipeline ``rank``.
+
+        Two ranks with equal keys generate byte-identical allocation traces:
+        the trace depends on the rank only through (a) whether it is the first
+        stage (embedding + embedding activations), (b) whether it is the last
+        stage (LM head + logits), and (c) how many micro-batches its 1F1B
+        position keeps in flight.
+        """
+        return (
+            rank == 0,
+            rank == self.pipeline_parallel - 1,
+            self.in_flight_microbatches(rank, num_microbatches),
+        )
+
+    def rank_equivalence_classes(self, num_microbatches: int) -> list[tuple[int, ...]]:
+        """Group pipeline ranks into memory-equivalent classes.
+
+        Returns the classes in ascending order of their representative (first)
+        rank; simulating one representative per class is enough to know every
+        rank's memory behaviour, so a PP=8 job needs at most 8 -- and often
+        fewer -- trace generations.  Tensor/data-parallel peers are already
+        implicitly deduplicated: they do not appear as distinct ranks because
+        their memory behaviour is identical within a pipeline stage.
+        """
+        classes: dict[tuple, list[int]] = {}
+        for rank in range(self.pipeline_parallel):
+            classes.setdefault(self.rank_memory_key(rank, num_microbatches), []).append(rank)
+        return sorted((tuple(members) for members in classes.values()), key=lambda c: c[0])
+
     def describe(self) -> str:
         """Compact label like ``TP2 PP4 DP2 VPP2``."""
         parts = [f"TP{self.tensor_parallel}", f"PP{self.pipeline_parallel}", f"DP{self.data_parallel}"]

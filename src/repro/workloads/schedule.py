@@ -9,8 +9,12 @@ of model chunks).  This module produces that order for:
   chunks in flight and interleaves their allocations much more aggressively
   (the paper's "V" optimization).
 
-Only the first pipeline stage is scheduled, because it holds the largest
-number of in-flight micro-batches and therefore the peak activation memory.
+Schedules are produced per pipeline rank: stage ``r`` of a ``p``-stage 1F1B
+pipeline runs ``min(p - r, m)`` warm-up forwards before entering the steady
+state, so earlier stages hold more in-flight micro-batches (and therefore more
+activation memory) while the last stage holds exactly one.  This per-stage
+asymmetry is what makes job-level simulation (all ranks of a job, not just
+rank 0) meaningful.
 """
 
 from __future__ import annotations
@@ -33,16 +37,19 @@ class PhaseSpec:
         return (self.kind, self.microbatch, self.chunk)
 
 
-def one_f_one_b(num_stages: int, num_microbatches: int) -> list[PhaseSpec]:
-    """1F1B schedule for pipeline stage 0.
+def one_f_one_b(num_stages: int, num_microbatches: int, rank: int = 0) -> list[PhaseSpec]:
+    """1F1B schedule for pipeline stage ``rank``.
 
-    Stage 0 runs ``min(p, m)`` warm-up forwards, then alternates backward /
-    forward in the steady state, then drains the remaining backwards.  The
-    peak number of in-flight micro-batches is ``min(p, m)``.
+    Stage ``r`` runs ``min(p - r, m)`` warm-up forwards, then alternates
+    backward / forward in the steady state, then drains the remaining
+    backwards.  The peak number of in-flight micro-batches is ``min(p - r, m)``
+    -- largest on the first stage, exactly one on the last.
     """
     if num_stages < 1 or num_microbatches < 1:
         raise ValueError("num_stages and num_microbatches must be >= 1")
-    warmup = min(num_stages, num_microbatches)
+    if not 0 <= rank < num_stages:
+        raise ValueError(f"rank must be in [0, {num_stages}), got {rank}")
+    warmup = min(num_stages - rank, num_microbatches)
     phases: list[PhaseSpec] = []
     for microbatch in range(warmup):
         phases.append(PhaseSpec(PhaseKind.FORWARD, microbatch))
@@ -55,18 +62,21 @@ def one_f_one_b(num_stages: int, num_microbatches: int) -> list[PhaseSpec]:
 
 
 def interleaved_virtual_pipeline(
-    num_stages: int, num_microbatches: int, num_chunks: int
+    num_stages: int, num_microbatches: int, num_chunks: int, rank: int = 0
 ) -> list[PhaseSpec]:
-    """Interleaved (virtual pipeline) schedule for stage 0.
+    """Interleaved (virtual pipeline) schedule for stage ``rank``.
 
     Micro-batches are processed in groups of ``num_stages``; within a group the
     schedule sweeps every virtual chunk before moving on, so activations of
-    ``~ num_stages * num_chunks`` (micro-batch, chunk) units are live at the
-    warm-up peak and forward/backward phases of different chunks interleave --
-    exactly the behaviour that complicates memory reuse in the paper.
+    ``~ (num_stages - rank) * num_chunks`` (micro-batch, chunk) units are live
+    at the warm-up peak and forward/backward phases of different chunks
+    interleave -- exactly the behaviour that complicates memory reuse in the
+    paper.
     """
     if num_chunks < 2:
-        return one_f_one_b(num_stages, num_microbatches)
+        return one_f_one_b(num_stages, num_microbatches, rank)
+    if not 0 <= rank < num_stages:
+        raise ValueError(f"rank must be in [0, {num_stages}), got {rank}")
     units: list[tuple[int, int]] = []  # (microbatch, chunk) in forward order
     group = max(1, num_stages)
     for group_start in range(0, num_microbatches, group):
@@ -76,7 +86,7 @@ def interleaved_virtual_pipeline(
                 units.append((microbatch, chunk))
 
     total_units = len(units)
-    warmup = min(total_units, num_stages * num_chunks)
+    warmup = min(total_units, (num_stages - rank) * num_chunks)
     phases: list[PhaseSpec] = []
     for microbatch, chunk in units[:warmup]:
         phases.append(PhaseSpec(PhaseKind.FORWARD, microbatch, chunk))
@@ -93,19 +103,23 @@ def interleaved_virtual_pipeline(
     return phases
 
 
-def build_schedule(parallelism: ParallelismConfig, num_microbatches: int) -> list[PhaseSpec]:
-    """Forward/backward schedule for stage 0, with INIT and OPTIMIZER bracketing."""
+def build_schedule(
+    parallelism: ParallelismConfig, num_microbatches: int, rank: int = 0
+) -> list[PhaseSpec]:
+    """Forward/backward schedule for stage ``rank``, with INIT and OPTIMIZER bracketing."""
     stages = parallelism.pipeline_parallel
     chunks = parallelism.virtual_pipeline_chunks
     if chunks > 1:
-        body = interleaved_virtual_pipeline(stages, num_microbatches, chunks)
+        body = interleaved_virtual_pipeline(stages, num_microbatches, chunks, rank)
     else:
-        body = one_f_one_b(stages, num_microbatches)
+        body = one_f_one_b(stages, num_microbatches, rank)
     return [PhaseSpec(PhaseKind.INIT)] + body + [PhaseSpec(PhaseKind.OPTIMIZER)]
 
 
-def peak_in_flight_microbatches(parallelism: ParallelismConfig, num_microbatches: int) -> int:
+def peak_in_flight_microbatches(
+    parallelism: ParallelismConfig, num_microbatches: int, rank: int = 0
+) -> int:
     """Upper bound on concurrently-live (micro-batch, chunk) activation sets."""
     stages = parallelism.pipeline_parallel
     chunks = parallelism.virtual_pipeline_chunks
-    return min(num_microbatches * chunks, stages * chunks)
+    return min(num_microbatches * chunks, (stages - rank) * chunks)

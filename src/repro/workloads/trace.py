@@ -40,6 +40,12 @@ class TraceMetadata:
     parallelism: str = ""
     seed: int = 0
     scale: float = 1.0
+    #: Pipeline rank the trace was generated for.
+    rank: int = 0
+    #: TRACEGEN_VERSION of the generator that produced this trace (0 for
+    #: traces serialized before the field existed); lets the persistent cache
+    #: detect entries written by an older generator without re-hashing.
+    tracegen_version: int = 0
 
 
 @dataclass

@@ -36,7 +36,9 @@ from repro.workloads.training import TrainingConfig
 #: Bump whenever the generator's event stream changes for an unchanged
 #: configuration, so persistent caches keyed by :func:`config_fingerprint`
 #: cannot serve traces produced by an older generator.
-TRACEGEN_VERSION = 1
+#: Version 2: rank-aware schedules (per-stage 1F1B warm-up), last-stage LM
+#: head / fp32 logits, and rank + generator version in the trace metadata.
+TRACEGEN_VERSION = 2
 
 
 def config_fingerprint(
@@ -154,7 +156,9 @@ class TraceGenerator:
     def generate(self) -> Trace:
         """Produce the allocation trace of one full training iteration."""
         self._reset()
-        schedule = build_schedule(self.config.parallelism, self.config.num_microbatches)
+        schedule = build_schedule(
+            self.config.parallelism, self.config.num_microbatches, self.rank
+        )
         for spec in schedule:
             phase = self._new_phase(spec)
             if spec.kind is PhaseKind.INIT:
@@ -174,6 +178,8 @@ class TraceGenerator:
             parallelism=self.config.parallelism.describe(),
             seed=self.seed,
             scale=self.scale,
+            rank=self.rank,
+            tracegen_version=TRACEGEN_VERSION,
         )
         module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
         return Trace(
@@ -423,7 +429,7 @@ class TraceGenerator:
         if spec.chunk == 0:
             boundary_spec = (
                 self.memory.embedding_activation()
-                if self.rank == 0
+                if self.memory.is_first_stage
                 else self.memory.pipeline_recv_buffer()
             )
             scoped.boundary.append(self._alloc(boundary_spec, phase))
@@ -433,6 +439,15 @@ class TraceGenerator:
             self._flush_deferred(phase)
             self._forward_layer(phase, spec, layer, scoped)
         self._flush_deferred(phase, everything=True)
+
+        # The last stage projects to the (sharded) vocabulary at the end of
+        # its final chunk; the fp32 logits live until the micro-batch's
+        # backward pass finishes, like the other boundary activations.
+        if (
+            self.memory.is_last_stage
+            and spec.chunk == self.config.parallelism.virtual_pipeline_chunks - 1
+        ):
+            scoped.boundary.append(self._alloc(self.memory.logits_activation(), phase))
 
     def _backward_layer(
         self,

@@ -1,0 +1,350 @@
+"""sweep --compare regression diffs, results serialization fixes, cache prune."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.simulator import runner
+from repro.sweep import SweepCache, SweepResult, compare_results
+from repro.sweep.cache import _RESULT_VERSION_KEY, RESULT_FORMAT_VERSION
+from repro.workloads.tracegen import config_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _clean_runner_state():
+    yield
+    runner.set_persistent_cache(None)
+    runner.set_default_jobs(1)
+    runner.clear_trace_cache()
+
+
+def _row(**overrides) -> dict:
+    row = {
+        "point": 0,
+        "model": "gpt2-345m",
+        "config": "R/mbs=2",
+        "allocator": "torch2.3",
+        "seed": 0,
+        "scale": 0.25,
+        "device": "A800-80GB",
+        "ranks": "0-3",
+        "status": "ok",
+        "binding_rank": 3,
+        "allocated_gib": 2.0,
+        "allocated_mean_gib": 1.5,
+        "reserved_gib": 2.5,
+        "tflops_per_gpu": 100.0,
+        "tokens_per_second": 5000.0,
+    }
+    row.update(overrides)
+    return row
+
+
+def _result(rows) -> SweepResult:
+    return SweepResult(spec_name="test", rows=rows)
+
+
+# ---------------------------------------------------------------------- #
+# compare_results
+# ---------------------------------------------------------------------- #
+class TestCompare:
+    def test_identical_runs_have_no_diff(self):
+        report = compare_results(_result([_row()]), _result([_row()]))
+        assert report.num_matched == 1
+        assert not report.has_regressions
+        assert report.exit_code == 0
+        assert "no differences" in report.to_text()
+
+    def test_peak_memory_increase_is_a_regression(self):
+        report = compare_results(
+            _result([_row()]), _result([_row(allocated_gib=2.2)])
+        )
+        assert report.has_regressions
+        assert report.exit_code == 1
+        assert "allocated_gib regressed" in report.to_text()
+
+    def test_peak_memory_decrease_is_not_a_regression(self):
+        report = compare_results(
+            _result([_row()]), _result([_row(allocated_gib=1.5)])
+        )
+        assert report.changed and not report.has_regressions
+
+    def test_ok_to_oom_is_a_regression(self):
+        report = compare_results(
+            _result([_row()]), _result([_row(status="OOM")])
+        )
+        assert report.has_regressions
+        assert "status regressed" in report.to_text()
+        # The reverse (OOM fixed) is a change, not a regression.
+        fixed = compare_results(_result([_row(status="OOM")]), _result([_row()]))
+        assert fixed.changed and not fixed.has_regressions
+
+    def test_throughput_drop_is_a_regression(self):
+        report = compare_results(
+            _result([_row()]), _result([_row(tflops_per_gpu=90.0)])
+        )
+        assert report.has_regressions
+
+    def test_tolerance_suppresses_small_moves(self):
+        report = compare_results(
+            _result([_row()]),
+            _result([_row(allocated_gib=2.0004)]),
+            tolerance_pct=0.1,
+        )
+        assert not report.changed and not report.has_regressions
+        tight = compare_results(
+            _result([_row()]), _result([_row(allocated_gib=2.0004)])
+        )
+        assert tight.has_regressions
+
+    def test_regression_just_past_tolerance_is_still_flagged(self):
+        """Regression: a worsening between t% of |old| and t% of max(old, new)
+        used to slip through because the changed-check gated the regression
+        check with a larger scale."""
+        report = compare_results(
+            _result([_row(allocated_gib=10.0)]),
+            _result([_row(allocated_gib=10.52)]),  # +5.2%: worse than 5% of old
+            tolerance_pct=5.0,
+        )
+        assert report.has_regressions
+        assert report.exit_code == 1
+
+    def test_unmatched_baseline_fails_the_gate(self):
+        """A baseline whose rows never line up has verified nothing."""
+        old = _result([_row(config="some-other-spec")])
+        new = _result([_row()])
+        report = compare_results(old, new)
+        assert report.num_matched == 0
+        assert report.baseline_unmatched
+        assert report.exit_code == 1
+        assert "no baseline point matched" in report.to_text()
+        # An empty baseline (nothing to protect) is not an error.
+        empty = compare_results(_result([]), new)
+        assert empty.exit_code == 0
+
+    def test_binding_rank_shift_reported_but_not_flagged(self):
+        report = compare_results(
+            _result([_row()]), _result([_row(binding_rank=0)])
+        )
+        assert report.changed and not report.has_regressions
+
+    def test_added_and_removed_points(self):
+        old = _result([_row(), _row(config="Naive/mbs=2")])
+        new = _result([_row(), _row(config="V/mbs=2")])
+        report = compare_results(old, new)
+        assert len(report.added) == 1 and len(report.removed) == 1
+        assert not report.has_regressions
+        text = report.to_text()
+        assert "only in the new run" in text and "only in the old run" in text
+
+    def test_points_match_across_reordered_grids(self):
+        old = _result([_row(point=0), _row(point=1, config="Naive/mbs=2")])
+        new = _result([_row(point=1), _row(point=0, config="Naive/mbs=2")])
+        report = compare_results(old, new)
+        assert report.num_matched == 2
+        assert not report.changed
+
+    def test_result_roundtrip_through_file(self, tmp_path):
+        result = _result([_row()])
+        path = tmp_path / "r.json"
+        result.write(path)
+        loaded = SweepResult.load(path)
+        assert loaded.rows == result.rows
+        assert not compare_results(loaded, result).changed
+
+    def test_load_rejects_non_result_files(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a sweep results file"):
+            SweepResult.load(path)
+
+
+# ---------------------------------------------------------------------- #
+# Results serialization bugfixes
+# ---------------------------------------------------------------------- #
+class TestResultsSerialization:
+    def test_write_accepts_uppercase_extensions(self, tmp_path):
+        """Regression: .JSON / .CSV used to be rejected."""
+        result = _result([_row()])
+        json_path = tmp_path / "OUT.JSON"
+        csv_path = tmp_path / "OUT.CSV"
+        result.write(json_path)
+        result.write(csv_path)
+        assert json.loads(json_path.read_text(encoding="utf-8"))["spec"] == "test"
+        assert "allocator" in csv_path.read_text(encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported output extension"):
+            result.write(tmp_path / "out.XLSX")
+
+    def test_to_text_renders_non_finite_floats(self):
+        """Regression: inf/NaN used to come out of the float formatter raw."""
+        from repro.sweep.results import _fmt
+
+        assert _fmt(float("inf")) == "inf"
+        assert _fmt(float("-inf")) == "-inf"
+        assert _fmt(float("nan")) == "nan"
+        result = _result(
+            [_row(tflops_per_gpu=float("inf"), tokens_per_second=float("nan"))]
+        )
+        text = result.to_text()
+        assert "inf" in text and "nan" in text
+        header, sep, data = text.splitlines()[1:4]
+        assert len(data) <= len(header)  # columns still aligned
+
+    def test_workload_run_serializes_full_precision(self, tiny_dense_config):
+        """Regression: as_dict used to round tflops_per_gpu to one decimal."""
+        run = runner.run_workload(
+            tiny_dense_config, "torch2.3", scale=0.25, with_throughput=True
+        )
+        data = run.as_dict()
+        assert data["tflops_per_gpu"] == run.tflops
+        assert data["tflops_per_gpu"] != round(data["tflops_per_gpu"], 1)
+        assert data["tokens_per_second"] == run.tokens_per_second
+        assert data["rank"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# Cache prune
+# ---------------------------------------------------------------------- #
+class TestCachePrune:
+    def test_prune_removes_stale_version_entries(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        key = cache.result_key("fp", {"allocator": "native"})
+        cache.store_result(key, {"status": "ok"})
+        # Forge entries written by older formats.
+        old_trace = cache.traces_dir / "deadbeef.jsonl"
+        header = {"metadata": {"tracegen_version": 1}, "module_spans": {}, "phases": []}
+        old_trace.write_text(json.dumps(header) + "\n", encoding="utf-8")
+        old_result = cache.results_dir / "cafebabe.json"
+        old_result.write_text(json.dumps({"status": "ok"}), encoding="utf-8")  # no version key
+        old_plan = cache.plans_dir / "0ldplan.json"
+        old_plan.write_text(json.dumps({"format_version": 0}), encoding="utf-8")
+
+        report = cache.prune()
+        assert report["stale_removed"] == 3
+        assert not old_trace.exists() and not old_result.exists() and not old_plan.exists()
+        # Current-format entries survive and still load.
+        assert cache.load_result(key) == {"status": "ok"}
+        fingerprint = config_fingerprint(tiny_dense_config, seed=0, scale=0.25)
+        assert cache.trace_path(fingerprint).exists()
+
+    def test_stored_rows_embed_format_version(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.result_key("fp", {"allocator": "native"})
+        cache.store_result(key, {"status": "ok"})
+        raw = json.loads(cache.result_path(key).read_text(encoding="utf-8"))
+        assert raw[_RESULT_VERSION_KEY] == RESULT_FORMAT_VERSION
+        # ... but the version key never leaks into served rows.
+        assert cache.load_result(key) == {"status": "ok"}
+
+    def test_prune_lru_evicts_oldest_first(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        keys = []
+        for index in range(4):
+            key = cache.result_key("fp", {"index": index})
+            cache.store_result(key, {"status": "ok", "index": index})
+            keys.append(key)
+        now = time.time()
+        for age, key in zip((400, 300, 200, 100), keys):
+            os.utime(cache.result_path(key), (now - age, now - age))
+        entry_size = cache.result_path(keys[0]).stat().st_size
+        report = cache.prune(max_bytes=2 * entry_size)
+        assert report["lru_removed"] == 2
+        assert not cache.result_path(keys[0]).exists()
+        assert not cache.result_path(keys[1]).exists()
+        assert cache.result_path(keys[2]).exists()
+        assert cache.result_path(keys[3]).exists()
+        assert cache.size_bytes() <= 2 * entry_size
+
+    def test_prune_zero_budget_clears_cache(self, tmp_path, tiny_dense_config):
+        cache = SweepCache(tmp_path)
+        cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        report = cache.prune(max_bytes=0)
+        assert report["remaining_bytes"] == 0
+        assert cache.size_bytes() == 0
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            SweepCache(tmp_path).prune(max_bytes=-1)
+
+
+# ---------------------------------------------------------------------- #
+# CLI integration
+# ---------------------------------------------------------------------- #
+class TestCompareCli:
+    def test_sweep_compare_zero_diff_and_regression_exit_codes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "sweep", "smoke",
+            "--jobs", "1",
+            "--cache-dir", str(cache_dir),
+            "--output", str(baseline),
+        ]
+        assert cli_main(argv) == 0
+        # Second (fully cached) run against the baseline: zero diff, exit 0.
+        assert cli_main(argv + ["--compare", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+        # Tamper with the baseline so the current run looks like a regression.
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        for row in payload["rows"]:
+            row["allocated_gib"] *= 0.5
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(payload), encoding="utf-8")
+        assert cli_main(argv[:-2] + ["--compare", str(tampered)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_compare_with_missing_baseline_is_a_usage_error(self, tmp_path, capsys):
+        code = cli_main(
+            ["sweep", "smoke", "--no-cache", "--compare", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "cannot load --compare baseline" in capsys.readouterr().err
+
+    def test_cache_prune_cli(self, tmp_path, capsys, tiny_dense_config):
+        cache = SweepCache(tmp_path / "cache")
+        cache.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        assert cli_main(
+            ["cache", "prune", "--cache-dir", str(tmp_path / "cache"), "--max-bytes", "0"]
+        ) == 0
+        assert "LRU-evicted" in capsys.readouterr().out
+        assert cache.size_bytes() == 0
+
+    def test_cache_prune_rejects_conflicting_limits(self, capsys, tmp_path):
+        code = cli_main(
+            ["cache", "prune", "--cache-dir", str(tmp_path), "--max-bytes", "1", "--max-gib", "1"]
+        )
+        assert code == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_uppercase_output_extension_accepted_by_cli(self, tmp_path, capsys):
+        out_path = tmp_path / "RESULTS.JSON"
+        assert cli_main(
+            ["sweep", "smoke", "--no-cache", "--output", str(out_path), "--max-rows", "0"]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(out_path.read_text(encoding="utf-8"))["num_points"] > 0
+
+
+def test_math_isfinite_guard():
+    """compare handles rows whose floats are non-finite without crashing."""
+    report = compare_results(
+        _result([_row(tflops_per_gpu=float("nan"))]),
+        _result([_row(tflops_per_gpu=float("nan"))]),
+    )
+    assert not report.changed
+    report = compare_results(
+        _result([_row(tflops_per_gpu=float("inf"))]),
+        _result([_row(tflops_per_gpu=100.0)]),
+    )
+    assert report.changed
+    assert math.isinf(report.comparisons[0].deltas["tflops_per_gpu"][0])

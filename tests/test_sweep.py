@@ -244,17 +244,18 @@ class TestSweepEngine:
         assert result.cache_dir is None
         assert result.num_cached == 0
 
-    def test_with_throughput_is_part_of_the_result_cache_key(self, tmp_path):
-        """Cached rows without throughput must not satisfy a throughput sweep."""
+    def test_throughput_columns_in_default_rows(self, tmp_path):
+        """Default rows carry full-precision throughput-model estimates."""
         cache_dir = tmp_path / "cache"
-        plain = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir)
-        assert all("tflops_per_gpu" not in row for row in plain.rows)
-        with_tp = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir, with_throughput=True)
-        assert with_tp.num_cached == 0
-        assert all("tflops_per_gpu" in row for row in with_tp.rows)
-        # And each variant hits its own cache on rerun.
-        again = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir, with_throughput=True)
+        result = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir)
+        for row in result.rows:
+            assert row["tflops_per_gpu"] > 0
+            assert row["tokens_per_second"] > 0
+        # Full precision on purpose: rounding is display-only (results._fmt).
+        assert any(row["tflops_per_gpu"] != round(row["tflops_per_gpu"], 1) for row in result.rows)
+        again = run_sweep(_tiny_spec(), jobs=1, cache_dir=cache_dir)
         assert again.num_cached == again.num_points
+        assert all("tokens_per_second" in row for row in again.rows)
 
     def test_parallel_cold_sweep_aggregates_worker_cache_stats(self, tmp_path):
         result = run_sweep(_tiny_spec(), jobs=2, cache_dir=tmp_path / "cache")
