@@ -8,6 +8,8 @@ Usage::
     stalloc-repro sweep quick-grid --jobs 4 --output results.json --output results.csv
     stalloc-repro sweep my_spec.json --jobs 8
     stalloc-repro sweep job-smoke --compare baseline.json   # CI regression gate
+    stalloc-repro sweep --compare old.json new.json         # diff two saved results
+    stalloc-repro sweep ep-smoke --cache-max-gib 1          # cap the cache inline
     stalloc-repro sweep --list
     stalloc-repro cache prune --max-gib 2
 """
@@ -106,12 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows to print to stdout (default: %(default)s; outputs always get all rows)",
     )
     sweep_parser.add_argument(
-        "--compare",
+        "--cache-max-gib",
+        type=float,
         default=None,
-        metavar="OLD.json",
+        metavar="X",
         help=(
-            "diff the sweep's rows against a previous results JSON file and exit "
-            "non-zero if any point regressed (peak memory up, throughput down, ok -> OOM)"
+            "cap the persistent cache during the sweep: stores that push it past "
+            "X GiB LRU-evict inline (default: unbounded; see 'cache prune')"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--compare",
+        nargs="+",
+        default=None,
+        metavar="RESULTS.json",
+        help=(
+            "with one file: diff the sweep's rows against that previous results "
+            "JSON file; with two files: diff them against each other without "
+            "running any sweep (no spec argument). Exits non-zero if any point "
+            "regressed (peak memory up, throughput down, ok -> OOM)"
         ),
     )
     sweep_parser.add_argument(
@@ -164,12 +179,42 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.sweep import SweepResult, available_presets, compare_results, load_spec, run_sweep
+    from repro.sweep import (
+        SweepResult,
+        available_presets,
+        compare_files,
+        compare_results,
+        load_spec,
+        run_sweep,
+    )
 
     if args.list_presets:
         for preset in available_presets():
             print(preset)
         return 0
+    if args.compare is not None and len(args.compare) > 2:
+        print(
+            f"error: --compare takes one or two results files, got {len(args.compare)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compare is not None and len(args.compare) == 2:
+        # Dual-file mode: diff two saved results files, run nothing.
+        if args.spec is not None:
+            print(
+                "error: a spec cannot be combined with two-file --compare "
+                "(the files are compared without running a sweep)",
+                file=sys.stderr,
+            )
+            return 2
+        old_path, new_path = args.compare
+        try:
+            report = compare_files(old_path, new_path, tolerance_pct=args.tolerance_pct)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot compare results files: {error}", file=sys.stderr)
+            return 2
+        print(report.to_text())
+        return report.exit_code
     if args.spec is None:
         print("error: a sweep spec (preset name or JSON file) is required", file=sys.stderr)
         return 2
@@ -192,16 +237,26 @@ def _cmd_sweep(args) -> int:
     baseline = None
     if args.compare is not None:
         try:
-            baseline = SweepResult.load(args.compare)
+            baseline = SweepResult.load(args.compare[0])
         except (OSError, ValueError) as error:
             print(f"error: cannot load --compare baseline: {error}", file=sys.stderr)
             return 2
+    if args.cache_max_gib is not None and args.cache_max_gib < 0:
+        print(
+            f"error: --cache-max-gib must be >= 0, got {args.cache_max_gib}",
+            file=sys.stderr,
+        )
+        return 2
     cache_dir = None if args.no_cache else args.cache_dir
+    cache_max_bytes = (
+        int(args.cache_max_gib * (1 << 30)) if args.cache_max_gib is not None else None
+    )
     result = run_sweep(
         spec,
         jobs=args.jobs,
         cache_dir=cache_dir,
         reuse_results=not args.fresh,
+        cache_max_bytes=cache_max_bytes,
     )
     for output in args.output:
         result.write(output)

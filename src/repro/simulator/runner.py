@@ -32,6 +32,7 @@ from repro.core.stalloc import STAlloc, STAllocConfig
 from repro.gpu.device import Device, GIB
 from repro.simulator.replay import ReplayResult, replay_trace
 from repro.simulator.throughput import GPU_SPECS, ThroughputEstimate, ThroughputModel
+from repro.workloads.parallelism import normalize_rank, rank_label
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceGenerator, config_fingerprint
 from repro.workloads.training import TrainingConfig
@@ -51,6 +52,7 @@ class WorkloadRun:
     replay: ReplayResult
     device_name: str
     rank: int = 0
+    ep_rank: int = 0
     throughput: ThroughputEstimate | None = None
     planning_report: dict = field(default_factory=dict)
 
@@ -80,6 +82,7 @@ class WorkloadRun:
             "config": self.config.describe(),
             "device": self.device_name,
             "rank": self.rank,
+            "ep_rank": self.ep_rank,
         }
         data.update(self.replay.as_dict())
         if self.throughput is not None:
@@ -106,14 +109,23 @@ class _TraceCache:
         self._traces: dict[str, Trace] = {}
 
     def get(
-        self, config: TrainingConfig, *, seed: int, scale: float, rank: int = 0, loader=None
+        self,
+        config: TrainingConfig,
+        *,
+        seed: int,
+        scale: float,
+        rank: int = 0,
+        ep_rank: int = 0,
+        loader=None,
     ) -> Trace:
-        key = config_fingerprint(config, seed=seed, scale=scale, rank=rank)
+        key = config_fingerprint(config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank)
         if key in self._traces:
             self._traces[key] = self._traces.pop(key)  # refresh LRU position
         else:
             if loader is None:
-                loader = TraceGenerator(config, seed=seed, scale=scale, rank=rank).generate
+                loader = TraceGenerator(
+                    config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank
+                ).generate
             self._traces[key] = loader()
             while len(self._traces) > self.maxsize:
                 self._traces.pop(next(iter(self._traces)))
@@ -193,21 +205,40 @@ def set_default_jobs(jobs: int) -> None:
 
 
 def generate_trace(
-    config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, rank: int = 0, cache=None
+    config: TrainingConfig,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    rank: int = 0,
+    ep_rank: int = 0,
+    cache=None,
 ) -> Trace:
     """Generate (or fetch from cache) one rank's allocation trace.
 
     Lookup order: the in-process memo, then the on-disk cache (``cache`` if
     given, else the installed persistent cache; pass :data:`NO_CACHE` to skip
     disk entirely) which generates and stores on miss, then plain generation.
-    Every cache layer keys on the full config fingerprint *including* the
-    rank, so per-rank traces of one job never alias each other.
+    Every cache layer keys on the full config fingerprint *including* both
+    rank coordinates, so per-(pp, ep)-rank traces of one job never alias
+    each other.
     """
     cache = _resolve_cache(cache)
     loader = None
     if cache is not None:
-        loader = lambda: cache.get_trace(config, seed=seed, scale=scale, rank=rank)  # noqa: E731
-    return _TRACE_CACHE.get(config, seed=seed, scale=scale, rank=rank, loader=loader)
+        loader = lambda: cache.get_trace(  # noqa: E731
+            config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank
+        )
+    return _TRACE_CACHE.get(
+        config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank, loader=loader
+    )
+
+
+def _default_capacity_gib(device_name: str, device_capacity_gib: float | None) -> float:
+    """Device budget in GiB: explicit override, the GPU spec, or 80 GiB."""
+    if device_capacity_gib is not None:
+        return device_capacity_gib
+    gpu = GPU_SPECS.get(device_name)
+    return gpu.memory_gib if gpu else 80
 
 
 def _stalloc_config(name: str, overrides: dict | None) -> STAllocConfig:
@@ -252,6 +283,7 @@ def run_workload(
     seed: int = 0,
     scale: float = 1.0,
     rank: int = 0,
+    ep_rank: int = 0,
     with_throughput: bool = False,
     trace: Trace | None = None,
     stalloc_overrides: dict | None = None,
@@ -260,21 +292,24 @@ def run_workload(
     """Run one configuration through one allocator and collect metrics.
 
     This is the pure per-run worker: it has no side effects beyond the caches
-    and is what the sweep engine executes in worker processes.  ``rank``
-    selects the pipeline rank being simulated (rank 0 by default, matching
-    the single-rank behaviour of earlier releases).  ``stalloc_overrides``
-    optionally overrides STAllocConfig knobs for the STAlloc variants
-    (ablation sweeps); other allocators ignore it.  ``cache`` optionally
-    routes trace/plan lookups through an explicit
+    and is what the sweep engine executes in worker processes.  ``rank`` and
+    ``ep_rank`` select the (pipeline, expert-parallel) rank coordinate being
+    simulated (rank (0, 0) by default, matching the single-rank behaviour of
+    earlier releases; ``rank`` also accepts a ``(pp, ep)`` pair directly).
+    ``stalloc_overrides`` optionally overrides STAllocConfig knobs for the
+    STAlloc variants (ablation sweeps); other allocators ignore it.  ``cache``
+    optionally routes trace/plan lookups through an explicit
     :class:`repro.sweep.cache.SweepCache` instead of the installed persistent
     cache.
     """
+    if not isinstance(rank, int):
+        rank, ep_rank = normalize_rank(rank)
     if trace is None:
-        trace = generate_trace(config, seed=seed, scale=scale, rank=rank, cache=cache)
+        trace = generate_trace(
+            config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank, cache=cache
+        )
     gpu = GPU_SPECS.get(device_name)
-    capacity_gib = device_capacity_gib if device_capacity_gib is not None else (
-        gpu.memory_gib if gpu else 80
-    )
+    capacity_gib = _default_capacity_gib(device_name, device_capacity_gib)
     device = Device(name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0)
     allocator, planning_report = _build_allocator(
         allocator_name, device, trace, stalloc_overrides, cache=cache
@@ -292,6 +327,7 @@ def run_workload(
         replay=replay,
         device_name=device_name,
         rank=rank,
+        ep_rank=ep_rank,
         throughput=throughput,
         planning_report=planning_report,
     )
@@ -320,32 +356,36 @@ def run_workload_suite(
     seed: int = 0,
     scale: float = 1.0,
     rank: int = 0,
+    ep_rank: int = 0,
     with_throughput: bool = False,
     jobs: int | None = None,
 ) -> dict[str, WorkloadRun]:
     """Run one configuration through several allocators, sharing the trace.
 
-    ``rank`` selects the simulated pipeline rank (shared by every allocator of
-    the suite).  ``jobs`` sets the number of worker processes the allocators
-    fan out over; ``None`` uses the module default (see
+    ``rank``/``ep_rank`` select the simulated rank coordinate (shared by every
+    allocator of the suite).  ``jobs`` sets the number of worker processes the
+    allocators fan out over; ``None`` uses the module default (see
     :func:`set_default_jobs`, configured through
     ``repro.experiments.common.configure_execution`` / the CLI) and ``1``
     keeps the serial in-process path.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
+    if not isinstance(rank, int):
+        rank, ep_rank = normalize_rank(rank)
     kwargs = dict(
         device_name=device_name,
         device_capacity_gib=device_capacity_gib,
         seed=seed,
         scale=scale,
         rank=rank,
+        ep_rank=ep_rank,
         with_throughput=with_throughput,
     )
     if jobs > 1 and len(allocator_names) > 1:
         # Generate the trace once up front.  With a persistent cache the
         # workers read it back from disk; without one it is shipped to them
         # in the payload (correct on every multiprocessing start method).
-        trace = generate_trace(config, seed=seed, scale=scale, rank=rank)
+        trace = generate_trace(config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank)
         shipped = None if persistent_cache_dir() is not None else trace
         payloads = [
             (config, name, kwargs, persistent_cache_dir(), shipped)
@@ -354,45 +394,182 @@ def run_workload_suite(
         workers = min(jobs, len(allocator_names))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return dict(pool.map(_suite_worker, payloads))
-    trace = generate_trace(config, seed=seed, scale=scale, rank=rank)
+    trace = generate_trace(config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank)
     return {name: run_workload(config, name, trace=trace, **kwargs) for name in allocator_names}
 
 
 # ---------------------------------------------------------------------- #
 # Job-level (multi-rank) orchestration
 # ---------------------------------------------------------------------- #
-def resolve_job_ranks(config: TrainingConfig, ranks=None) -> list[tuple[int, ...]]:
+def resolve_job_ranks(config: TrainingConfig, ranks=None) -> list[tuple]:
     """Resolve a rank selection into memory-equivalence classes to simulate.
 
-    ``ranks`` is ``None`` (rank 0 only -- the single-rank behaviour of earlier
-    releases), the string ``"all"`` (every pipeline stage of the job), or an
-    iterable of pipeline ranks.  The returned classes partition the requested
-    ranks so that simulating one representative per class (its first member)
-    covers every requested rank: class members generate event-identical
-    traces, so a PP=8 job needs at most 8 -- and with few micro-batches far
-    fewer -- trace generations and replays.
+    ``ranks`` is ``None`` (rank (0, 0) only -- the single-rank behaviour of
+    earlier releases), the string ``"all"`` (every rank of the job), or an
+    iterable whose entries are pipeline ranks (ints) or explicit ``(pp, ep)``
+    pairs.  The returned classes partition the requested ranks so that
+    simulating one representative per class (its first member) covers every
+    requested rank: class members generate event-identical traces, so a PP=8
+    job needs at most 8 -- and with few micro-batches far fewer -- trace
+    generations and replays.
+
+    For a job with expert-parallel asymmetry (see
+    :attr:`TrainingConfig.expert_asymmetry`) the classes partition the full
+    ``(pp, ep)`` coordinate grid and their members are coordinate pairs: every
+    EP rank routes a different token load, so EP peers stop being
+    interchangeable.  A plain int entry then selects *all* EP ranks of that
+    pipeline stage.  Without asymmetry the classes stay plain pipeline-rank
+    ints and EP peers collapse into their stage's class, exactly as before.
     """
     pipeline = config.parallelism.pipeline_parallel
+    asymmetric = config.expert_asymmetry
+    expert = config.parallelism.expert_parallel if asymmetric else 1
+
+    def _validate(pp: int, ep: int) -> None:
+        if not 0 <= pp < pipeline:
+            raise ValueError(f"rank {pp} out of range for pipeline_parallel={pipeline}")
+        # Bounds come from the parallelism layout, not the asymmetry flag: a
+        # typo'd ep must fail whether or not the router is currently skewed.
+        if not 0 <= ep < config.parallelism.expert_parallel:
+            raise ValueError(
+                f"ep_rank {ep} out of range for expert_parallel="
+                f"{config.parallelism.expert_parallel}"
+            )
+
+    requested: set = set()
     if ranks is None:
-        requested = {0}
+        requested = {(0, 0)} if asymmetric else {0}
     elif isinstance(ranks, str):
         if ranks != "all":
             raise ValueError(f"ranks must be 'all' or a list of ints, got {ranks!r}")
-        requested = set(range(pipeline))
+        if asymmetric:
+            requested = {(pp, ep) for pp in range(pipeline) for ep in range(expert)}
+        else:
+            requested = set(range(pipeline))
     else:
-        requested = {int(rank) for rank in ranks}
-        if not requested:
+        entries = list(ranks)
+        if not entries:
             raise ValueError("ranks must not be empty")
-    for rank in requested:
-        if not 0 <= rank < pipeline:
-            raise ValueError(
-                f"rank {rank} out of range for pipeline_parallel={pipeline}"
-            )
-    classes = config.parallelism.rank_equivalence_classes(config.num_microbatches)
+        for entry in entries:
+            if isinstance(entry, int) and not isinstance(entry, bool):
+                _validate(entry, 0)
+                if asymmetric:
+                    requested.update((entry, ep) for ep in range(expert))
+                else:
+                    requested.add(entry)
+            else:
+                pp, ep = normalize_rank(entry)
+                _validate(pp, ep)
+                if asymmetric:
+                    requested.add((pp, ep))
+                else:
+                    # EP ranks are memory-identical here, so an explicit
+                    # coordinate collapses onto its pipeline stage.
+                    requested.add(pp)
+    classes = config.parallelism.rank_equivalence_classes(
+        config.num_microbatches, expert_asymmetry=asymmetric
+    )
     restricted = [
         tuple(rank for rank in cls if rank in requested) for cls in classes
     ]
     return [cls for cls in restricted if cls]
+
+
+def _normalize_capacity_map(
+    device_memory_by_rank: dict | None, config: TrainingConfig
+) -> dict[str, float]:
+    """Canonicalize heterogeneous device budgets to ``rank label -> GiB``.
+
+    Keys may be ints (pipeline ranks), ``(pp, ep)`` tuples, or their string
+    labels (``"2"``, ``"2.1"`` -- the JSON spelling sweep specs use).  A
+    pipeline-rank key applies to every EP coordinate of that stage unless an
+    exact ``pp.ep`` key overrides it.  Every key is validated against the
+    job's rank grid, so a typo'd budget fails loudly instead of silently
+    applying to nothing.
+    """
+    if not device_memory_by_rank:
+        return {}
+    pipeline = config.parallelism.pipeline_parallel
+    expert = config.parallelism.expert_parallel
+    normalized: dict[str, float] = {}
+    for key, value in device_memory_by_rank.items():
+        capacity = float(value)
+        if capacity <= 0:
+            raise ValueError(f"device memory for rank {key!r} must be > 0, got {value}")
+        label = key if isinstance(key, str) else rank_label(key)
+        parts = label.split(".")
+        if len(parts) not in (1, 2) or not all(part.isdigit() for part in parts):
+            raise ValueError(
+                f"device_memory_by_rank key {key!r} is not a rank "
+                f"(expected an int, '2', or '2.1')"
+            )
+        pp = int(parts[0])
+        if pp >= pipeline:
+            raise ValueError(
+                f"device_memory_by_rank key {key!r}: rank {pp} out of range for "
+                f"pipeline_parallel={pipeline}"
+            )
+        if len(parts) == 2 and int(parts[1]) >= expert:
+            raise ValueError(
+                f"device_memory_by_rank key {key!r}: ep_rank {parts[1]} out of "
+                f"range for expert_parallel={expert}"
+            )
+        normalized[label] = capacity
+    return normalized
+
+
+def _expand_classes_to_coordinates(
+    classes: list[tuple], expert_parallel: int
+) -> list[tuple]:
+    """Rewrite pipeline-int classes as ``(pp, ep)`` coordinate classes.
+
+    Used when per-coordinate device budgets address EP ranks of a job whose
+    *traces* are EP-symmetric: the coordinates are still distinct physical
+    devices, so the budget split below needs them as individual members.
+    Class structure is preserved -- EP peers of one stage stay together until
+    a budget difference splits them.
+    """
+    if not classes or not isinstance(classes[0][0], int):
+        return classes
+    return [
+        tuple((pp, ep) for pp in cls for ep in range(expert_parallel))
+        for cls in classes
+    ]
+
+
+def _rank_capacity(rank, capacity_map: dict[str, float], default: float | None) -> float | None:
+    """Device budget of one rank: exact coordinate, then stage, then default."""
+    if capacity_map:
+        label = rank_label(rank)
+        if label in capacity_map:
+            return capacity_map[label]
+        if not isinstance(rank, int):
+            stage = str(normalize_rank(rank)[0])
+            if stage in capacity_map:
+                return capacity_map[stage]
+    return default
+
+
+def _split_classes_by_capacity(
+    classes: list[tuple], capacity_map: dict[str, float], default: float | None
+) -> list[tuple[tuple, float | None]]:
+    """Refine memory-equivalence classes so each is capacity-homogeneous.
+
+    Class members generate identical traces, but with heterogeneous device
+    budgets their *replays* can still differ (an allocator behaves differently
+    against a smaller device, and success itself is per-budget), so a class
+    spanning two budgets must be simulated once per budget.
+    """
+    refined: list[tuple[tuple, float | None]] = []
+    for cls in classes:
+        by_capacity: dict[float | None, list] = {}
+        for rank in cls:
+            by_capacity.setdefault(_rank_capacity(rank, capacity_map, default), []).append(rank)
+        for capacity, members in sorted(
+            by_capacity.items(), key=lambda item: item[1][0] if item[1] else ()
+        ):
+            refined.append((tuple(members), capacity))
+    return refined
 
 
 @dataclass
@@ -403,18 +580,24 @@ class JobRun:
     classes; ``class_runs`` holds one :class:`WorkloadRun` per class (its
     representative rank's replay), in the same order.  Aggregates weight each
     class by its member count, so deduplicated execution reports exactly what
-    an exhaustive per-rank run would.
+    an exhaustive per-rank run would.  Class members are pipeline-rank ints
+    for symmetric jobs and ``(pp, ep)`` coordinates when expert-parallel
+    asymmetry makes EP ranks distinct.  ``class_capacities`` holds each
+    class's device budget in GiB (``None`` when no budget applies), so with
+    heterogeneous per-rank devices the *binding* rank is the one closest to
+    exhausting its own budget -- which can differ from the peak-memory rank.
     """
 
     config: TrainingConfig
     allocator_name: str
     device_name: str
-    rank_classes: list[tuple[int, ...]]
+    rank_classes: list[tuple]
     class_runs: list[WorkloadRun]
     throughput: ThroughputEstimate | None = None
+    class_capacities: list[float | None] = field(default_factory=list)
 
     @property
-    def ranks(self) -> list[int]:
+    def ranks(self) -> list:
         """Every simulated rank, ascending."""
         return sorted(rank for cls in self.rank_classes for rank in cls)
 
@@ -427,27 +610,55 @@ class JobRun:
         """A job fits only if every one of its ranks fits."""
         return all(run.success for run in self.class_runs)
 
-    def runs_by_rank(self) -> dict[int, WorkloadRun]:
+    def runs_by_rank(self) -> dict:
         """Expand the per-class runs to every requested rank."""
-        expanded: dict[int, WorkloadRun] = {}
+        expanded: dict = {}
         for cls, run in zip(self.rank_classes, self.class_runs):
             for rank in cls:
                 expanded[rank] = run
         return dict(sorted(expanded.items()))
 
     @property
+    def heterogeneous_budgets(self) -> bool:
+        capacities = {c for c in self.class_capacities if c is not None}
+        return len(capacities) > 1
+
+    @property
     def binding_class_index(self) -> int:
+        """Index of the class whose representative binds the job.
+
+        With a uniform device budget this is simply the peak-memory class;
+        with heterogeneous per-rank budgets it is the class with the highest
+        *utilization* of its own budget (peak / capacity) -- a 30 GiB peak on
+        a 40 GiB device binds harder than a 50 GiB peak on a 96 GiB one.
+        """
         peaks = [run.replay.metrics.peak_allocated_gib for run in self.class_runs]
+        if self.heterogeneous_budgets:
+            capacities = [
+                capacity if capacity else float("inf") for capacity in self.class_capacities
+            ]
+            utilizations = [peak / capacity for peak, capacity in zip(peaks, capacities)]
+            return max(range(len(peaks)), key=utilizations.__getitem__)
         return max(range(len(peaks)), key=peaks.__getitem__)
 
     @property
-    def binding_rank(self) -> int:
-        """The rank whose peak allocated memory decides whether the job fits."""
+    def binding_rank(self):
+        """The rank whose memory pressure decides whether the job fits."""
         return self.rank_classes[self.binding_class_index][0]
 
     @property
     def binding_run(self) -> WorkloadRun:
         return self.class_runs[self.binding_class_index]
+
+    @property
+    def binding_utilization(self) -> float | None:
+        """Peak / device budget of the binding rank (None without a budget)."""
+        index = self.binding_class_index
+        capacities = self.class_capacities
+        capacity = capacities[index] if index < len(capacities) else None
+        if not capacity:
+            return None
+        return self.class_runs[index].replay.metrics.peak_allocated_gib / capacity
 
     @property
     def peak_allocated_gib(self) -> float:
@@ -468,7 +679,7 @@ class JobRun:
         return max(run.replay.metrics.peak_reserved_gib for run in self.class_runs)
 
     @property
-    def oom_ranks(self) -> list[int]:
+    def oom_ranks(self) -> list:
         """Every requested rank whose replay ran out of memory."""
         return sorted(
             rank
@@ -486,33 +697,49 @@ class JobRun:
         return self.throughput.tokens_per_second if self.throughput is not None else None
 
     def as_dict(self) -> dict:
-        binding = self.binding_run
         data = {
             "config": self.config.describe(),
             "device": self.device_name,
             "allocator": self.allocator_name,
-            "ranks": self.ranks,
+            "ranks": [
+                rank if isinstance(rank, int) else rank_label(rank) for rank in self.ranks
+            ],
             "num_ranks": self.num_ranks,
             "unique_ranks": len(self.class_runs),
             "success": self.success,
-            "binding_rank": self.binding_rank,
+            "binding_rank": (
+                self.binding_rank
+                if isinstance(self.binding_rank, int)
+                else rank_label(self.binding_rank)
+            ),
             "peak_allocated_gib": self.peak_allocated_gib,
             "mean_peak_allocated_gib": self.mean_peak_allocated_gib,
             "peak_reserved_gib": self.peak_reserved_gib,
             "per_rank_peak_allocated_gib": {
-                str(rank): run.replay.metrics.peak_allocated_gib
+                rank_label(rank): run.replay.metrics.peak_allocated_gib
                 for rank, run in self.runs_by_rank().items()
             },
         }
+        if self.heterogeneous_budgets:
+            data["per_rank_capacity_gib"] = {
+                rank_label(rank): capacity
+                for cls, capacity in zip(self.rank_classes, self.class_capacities)
+                for rank in cls
+            }
+            if self.binding_utilization is not None:
+                data["binding_utilization"] = self.binding_utilization
         if self.oom_ranks:
-            data["oom_ranks"] = self.oom_ranks
+            data["oom_ranks"] = [
+                rank if isinstance(rank, int) else rank_label(rank)
+                for rank in self.oom_ranks
+            ]
         if self.throughput is not None:
             data["tflops_per_gpu"] = self.throughput.tflops_per_gpu
             data["tokens_per_second"] = self.throughput.tokens_per_second
         return data
 
 
-def _job_rank_worker(payload: tuple) -> tuple[int, WorkloadRun]:
+def _job_rank_worker(payload: tuple):
     """Process-pool entry point: replay one representative rank of a job."""
     config, allocator_name, rank, kwargs, cache_dir, trace = payload
     if cache_dir is not None and persistent_cache_dir() != cache_dir:
@@ -527,13 +754,14 @@ def run_job(
     ranks="all",
     device_name: str = "A800-80GB",
     device_capacity_gib: float | None = None,
+    device_memory_by_rank: dict | None = None,
     seed: int = 0,
     scale: float = 1.0,
     with_throughput: bool = True,
     stalloc_overrides: dict | None = None,
     cache=None,
     jobs: int | None = None,
-    traces: dict[int, Trace] | None = None,
+    traces: dict | None = None,
 ) -> JobRun:
     """Run one whole-job measurement: every requested rank, one allocator.
 
@@ -543,13 +771,34 @@ def run_job(
     cache -- and ``jobs`` > 1 fans the representatives out over the existing
     worker-pool machinery.  ``traces`` optionally supplies pre-generated
     traces by rank (the sweep engine ships shared traces to workers this way).
+
+    ``device_memory_by_rank`` optionally assigns heterogeneous device budgets
+    (GiB) to individual ranks -- keys are pipeline ranks (``2``/``"2"``,
+    applying to every EP coordinate of the stage) or exact coordinates
+    (``"2.1"``/``(2, 1)``); unlisted ranks fall back to
+    ``device_capacity_gib``/the device default.  Classes spanning several
+    budgets are split so every replay runs against its own rank's device, and
+    the binding rank becomes the rank with the highest utilization of its
+    budget rather than the raw peak-memory rank.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
-    rank_classes = resolve_job_ranks(config, ranks)
+    capacity_map = _normalize_capacity_map(device_memory_by_rank, config)
+    classes = resolve_job_ranks(config, ranks)
+    if any("." in label for label in capacity_map):
+        # A budget addresses an individual (pp, ep) coordinate; even when the
+        # traces are EP-symmetric the coordinates are distinct devices, so
+        # the classes must expose them for the per-budget split below.
+        classes = _expand_classes_to_coordinates(
+            classes, config.parallelism.expert_parallel
+        )
+    classes_with_capacity = _split_classes_by_capacity(
+        classes, capacity_map, device_capacity_gib
+    )
+    rank_classes = [cls for cls, _ in classes_with_capacity]
     representatives = [cls[0] for cls in rank_classes]
-    kwargs = dict(
+    capacities = [capacity for _, capacity in classes_with_capacity]
+    base_kwargs = dict(
         device_name=device_name,
-        device_capacity_gib=device_capacity_gib,
         seed=seed,
         scale=scale,
         # Per-rank throughput estimates would all be recomputed (and
@@ -559,25 +808,40 @@ def run_job(
         stalloc_overrides=stalloc_overrides,
     )
     traces = traces or {}
-    runs: dict[int, WorkloadRun] = {}
+    runs: dict = {}
     if jobs > 1 and len(representatives) > 1 and cache is None:
         payloads = [
-            (config, allocator_name, rank, kwargs, persistent_cache_dir(), traces.get(rank))
-            for rank in representatives
+            (
+                config,
+                allocator_name,
+                rank,
+                dict(base_kwargs, device_capacity_gib=capacity),
+                persistent_cache_dir(),
+                traces.get(rank),
+            )
+            for rank, capacity in zip(representatives, capacities)
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(representatives))) as pool:
             runs.update(dict(pool.map(_job_rank_worker, payloads)))
     else:
-        for rank in representatives:
+        for rank, capacity in zip(representatives, capacities):
             runs[rank] = run_workload(
                 config,
                 allocator_name,
                 rank=rank,
+                device_capacity_gib=capacity,
                 trace=traces.get(rank),
                 cache=cache,
-                **kwargs,
+                **base_kwargs,
             )
     class_runs = [runs[rank] for rank in representatives]
+    # Record the concrete budget every class ran against (the device default
+    # when no explicit budget applied), so binding-by-utilization is
+    # well-defined whenever any heterogeneity is present.
+    default_capacity = _default_capacity_gib(device_name, device_capacity_gib)
+    resolved_capacities = [
+        capacity if capacity is not None else default_capacity for capacity in capacities
+    ]
     throughput = None
     if with_throughput:
         gpu = GPU_SPECS.get(device_name)
@@ -595,6 +859,7 @@ def run_job(
         rank_classes=rank_classes,
         class_runs=class_runs,
         throughput=throughput,
+        class_capacities=resolved_capacities,
     )
 
 

@@ -5,14 +5,16 @@ combinations -- declaratively specified as JSON or picked from named presets
 -- across worker processes, memoising generated per-rank traces, synthesized
 STAlloc plans and finished result rows on disk so repeated sweeps skip
 regeneration entirely.  A sweep point may cover every pipeline rank of its
-job (``"ranks": "all"``); its row then reports job-level aggregates (binding
-rank, max/mean peak, throughput).  ``compare_results`` diffs two result files
-for CI regression gating.  See ``README.md`` ("Sweeps") for the spec format
-and cache layout.
+job (``"ranks": "all"`` -- for MoE jobs with a non-zero router imbalance this
+is the full (pipeline, expert-parallel) coordinate grid); its row then
+reports job-level aggregates (binding rank, max/mean peak, throughput).
+``compare_results`` diffs two results for CI regression gating and
+``compare_files`` diffs two saved results files without re-running.  See
+``README.md`` ("Sweeps") for the spec format and cache layout.
 """
 
 from repro.sweep.cache import RESULT_FORMAT_VERSION, CacheStats, SweepCache
-from repro.sweep.compare import CompareReport, compare_results
+from repro.sweep.compare import CompareReport, compare_files, compare_results
 from repro.sweep.engine import execute_point, run_sweep
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import (
@@ -33,6 +35,7 @@ __all__ = [
     "SweepResult",
     "SWEEP_PRESETS",
     "available_presets",
+    "compare_files",
     "compare_results",
     "execute_point",
     "load_spec",

@@ -35,7 +35,10 @@ from repro.workloads.training import TrainingConfig
 #: Bump to invalidate every cached result row (e.g. when row fields change).
 #: Version 2: job-level rows (multi-rank aggregation, binding rank, default
 #: throughput columns) and full-precision float serialization.
-RESULT_FORMAT_VERSION = 2
+#: Version 3: expert-parallel rank identity (EP coordinates in the point's
+#: rank selection, coordinate-valued binding ranks) and heterogeneous
+#: per-rank device budgets in the point payload.
+RESULT_FORMAT_VERSION = 3
 
 #: Key under which :meth:`SweepCache.store_result` embeds the writer's result
 #: format version inside each stored row (stripped again on load); lets
@@ -76,16 +79,62 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 
 class SweepCache:
-    """On-disk cache shared by the sweep engine and the experiment runner."""
+    """On-disk cache shared by the sweep engine and the experiment runner.
 
-    def __init__(self, root: str | Path):
+    ``max_bytes`` optionally caps the cache size: whenever a store pushes the
+    total past the cap, the least-recently-written entries are evicted inline
+    (the same LRU policy as :meth:`prune`, minus the stale-version content
+    scan) until the cache fits again.  Without it the cache only shrinks when
+    ``prune`` is called explicitly.
+    """
+
+    def __init__(self, root: str | Path, *, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.traces_dir = self.root / "traces"
         self.plans_dir = self.root / "plans"
         self.results_dir = self.root / "results"
         for directory in (self.traces_dir, self.plans_dir, self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: Running size estimate (full scan + bytes written since), so the
+        #: per-store cap check does not re-stat every entry; ``None`` until
+        #: the first capped store forces a scan.
+        self._size_estimate: int | None = None
+
+    def enforce_cap(self) -> None:
+        """LRU-evict down to the cap from the *actual* on-disk size.
+
+        Rescans the cache; the hot store path goes through :meth:`_note_store`
+        instead, which only rescans when its running estimate crosses the cap.
+        """
+        if self.max_bytes is None:
+            return
+        self._size_estimate = self.size_bytes()
+        if self._size_estimate > self.max_bytes:
+            report = self.prune(self.max_bytes, sweep_stale=False)
+            self._size_estimate = report["remaining_bytes"]
+
+    def _note_store(self, nbytes: int) -> None:
+        """Account one store against the cap using the running estimate.
+
+        The estimate only ever errs high for this process's own writes
+        (overwrites of identical content-addressed entries are counted
+        twice), which at worst triggers a harmless early prune; writes from
+        concurrent workers are invisible until the next real scan, which the
+        sweep engine forces once at the end of every capped sweep.
+        """
+        if self.max_bytes is None:
+            return
+        if self._size_estimate is None:
+            self._size_estimate = self.size_bytes()
+        else:
+            self._size_estimate += nbytes
+        if self._size_estimate > self.max_bytes:
+            report = self.prune(self.max_bytes, sweep_stale=False)
+            self._size_estimate = report["remaining_bytes"]
 
     # ------------------------------------------------------------------ #
     # Traces
@@ -94,15 +143,23 @@ class SweepCache:
         return self.traces_dir / f"{fingerprint}.jsonl"
 
     def get_trace(
-        self, config: TrainingConfig, *, seed: int = 0, scale: float = 1.0, rank: int = 0
+        self,
+        config: TrainingConfig,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        rank: int = 0,
+        ep_rank: int = 0,
     ) -> Trace:
         """Load one rank's trace from disk, generating and storing on miss.
 
-        The fingerprint includes the rank, so per-rank traces of one job are
-        cached (and looked up) independently -- a trace generated for rank 0
-        can never satisfy a request for another rank.
+        The fingerprint includes both rank coordinates, so per-(pp, ep)-rank
+        traces of one job are cached (and looked up) independently -- a trace
+        generated for one coordinate can never satisfy a request for another.
         """
-        fingerprint = config_fingerprint(config, seed=seed, scale=scale, rank=rank)
+        fingerprint = config_fingerprint(
+            config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank
+        )
         path = self.trace_path(fingerprint)
         if path.exists():
             try:
@@ -112,8 +169,12 @@ class SweepCache:
             except (ValueError, KeyError, TypeError, json.JSONDecodeError):
                 path.unlink(missing_ok=True)  # corrupt entry: fall through to regenerate
         self.stats.trace_misses += 1
-        trace = TraceGenerator(config, seed=seed, scale=scale, rank=rank).generate()
-        _atomic_write_text(path, trace.dumps())
+        trace = TraceGenerator(
+            config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank
+        ).generate()
+        text = trace.dumps()
+        _atomic_write_text(path, text)
+        self._note_store(len(text))
         return trace
 
     # ------------------------------------------------------------------ #
@@ -153,7 +214,9 @@ class SweepCache:
                 path.unlink(missing_ok=True)
         self.stats.plan_misses += 1
         stalloc = STAlloc.from_trace(trace, stalloc_config)
-        _atomic_write_text(path, json.dumps(stalloc.to_json_dict()))
+        text = json.dumps(stalloc.to_json_dict())
+        _atomic_write_text(path, text)
+        self._note_store(len(text))
         return stalloc
 
     # ------------------------------------------------------------------ #
@@ -193,19 +256,27 @@ class SweepCache:
     def store_result(self, key: str, row: dict) -> None:
         stored = dict(row)
         stored[_RESULT_VERSION_KEY] = RESULT_FORMAT_VERSION
-        _atomic_write_text(self.result_path(key), json.dumps(stored))
+        text = json.dumps(stored)
+        _atomic_write_text(self.result_path(key), text)
+        self._note_store(len(text))
 
     # ------------------------------------------------------------------ #
     # Eviction
     # ------------------------------------------------------------------ #
     def size_bytes(self) -> int:
-        """Total bytes currently held by the cache (all layers)."""
-        return sum(
-            entry.stat().st_size
-            for directory in (self.traces_dir, self.plans_dir, self.results_dir)
-            for entry in directory.glob("*")
-            if entry.is_file()
-        )
+        """Total bytes currently held by the cache (all layers).
+
+        Tolerant of concurrent eviction: entries removed between the
+        directory listing and the ``stat`` call simply stop counting.
+        """
+        total = 0
+        for directory in (self.traces_dir, self.plans_dir, self.results_dir):
+            for entry in directory.glob("*"):
+                try:
+                    total += entry.stat().st_size
+                except OSError:
+                    continue
+        return total
 
     def _is_stale(self, path: Path) -> bool:
         """Whether a cache entry was written by an older format version.
@@ -230,7 +301,7 @@ class SweepCache:
         except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
             return True
 
-    def prune(self, max_bytes: int | None = None) -> dict:
+    def prune(self, max_bytes: int | None = None, *, sweep_stale: bool = True) -> dict:
         """Evict stale-version entries, then LRU-evict down to ``max_bytes``.
 
         The cache otherwise grows without bound: every new configuration,
@@ -242,6 +313,11 @@ class SweepCache:
         hit refreshes nothing, making mtime the write/refresh time, which is
         the best available recency signal) until the cache fits.  Returns a
         report dict with the removal counts and byte totals.
+
+        ``sweep_stale=False`` skips the stale-version content scan (which
+        reads every entry) and only LRU-evicts -- the cheap mode the inline
+        size cap uses on the hot store path.  Half-written ``.tmp`` leftovers
+        are still removed.
         """
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -256,7 +332,7 @@ class SweepCache:
                     stat = path.stat()
                 except OSError:
                     continue
-                if path.suffix == ".tmp" or self._is_stale(path):
+                if path.suffix == ".tmp" or (sweep_stale and self._is_stale(path)):
                     path.unlink(missing_ok=True)
                     stale_removed += 1
                     stale_bytes += stat.st_size

@@ -1,7 +1,8 @@
 """Regression diffing between two sweep results (``sweep --compare``).
 
 Compares the rows of a freshly-executed sweep against a previously saved
-results file, point by point.  Points are matched on their identity columns
+results file -- or, via :func:`compare_files`, two saved results files
+against each other without re-running anything -- point by point.  Points are matched on their identity columns
 (model, config, allocator, seed, scale, device, ranks) rather than on the
 ``point`` index, so reordered or extended grids still line up.  A *regression*
 is something that makes the new run strictly worse:
@@ -214,3 +215,15 @@ def compare_results(
                     )
         report.comparisons.append(comparison)
     return report
+
+
+def compare_files(old_path, new_path, *, tolerance_pct: float = 0.0) -> CompareReport:
+    """Diff two saved results files without executing any sweep.
+
+    The dual-file form of ``sweep --compare``: both sides are results JSON
+    documents previously written by ``--output``, so post-hoc comparisons
+    (two CI artifacts, two branches' runs) need no recomputation at all.
+    """
+    return compare_results(
+        SweepResult.load(old_path), SweepResult.load(new_path), tolerance_pct=tolerance_pct
+    )

@@ -26,16 +26,34 @@ from repro.simulator.runner import NO_CACHE, generate_trace, resolve_job_ranks, 
 from repro.sweep.cache import SweepCache
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.workloads.parallelism import normalize_rank, rank_label
 from repro.workloads.tracegen import config_fingerprint
 
 
-def _ranks_label(ranks: tuple[int, ...]) -> str:
-    """Compact rendering of a rank tuple: ``0``, ``0-3`` or ``0,2,5``."""
+def _int_ranks_label(ranks) -> str:
+    """Compact rendering of an int rank tuple: ``0``, ``0-3`` or ``0,2,5``."""
     if len(ranks) == 1:
         return str(ranks[0])
     if list(ranks) == list(range(ranks[0], ranks[-1] + 1)):
         return f"{ranks[0]}-{ranks[-1]}"
     return ",".join(str(rank) for rank in ranks)
+
+
+def _ranks_label(ranks: tuple) -> str:
+    """Compact rendering of a rank selection.
+
+    Int tuples keep the historical forms (``0``, ``0-3``, ``0,2,5``) so rows
+    of non-EP sweeps stay identical to earlier releases.  Coordinate tuples
+    render as a cross product when they form a full grid (``0-1x ep0-3``) and
+    as an explicit ``pp.ep`` list otherwise.
+    """
+    if not ranks or isinstance(ranks[0], int):
+        return _int_ranks_label(ranks)
+    pps = sorted({pp for pp, _ in ranks})
+    eps = sorted({ep for _, ep in ranks})
+    if len(ranks) == len(pps) * len(eps):
+        return f"{_int_ranks_label(pps)}xep{_int_ranks_label(eps)}"
+    return ",".join(rank_label(rank) for rank in ranks)
 
 
 def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
@@ -49,6 +67,7 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
     """
     binding = job.binding_run
     metrics = binding.replay.metrics
+    binding_rank = job.binding_rank
     row = {
         "point": point.index,
         "model": point.config.model.name,
@@ -61,7 +80,9 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
         "num_ranks": job.num_ranks,
         "unique_ranks": len(job.class_runs),
         "status": "ok" if job.success else "OOM",
-        "binding_rank": job.binding_rank,
+        "binding_rank": (
+            binding_rank if isinstance(binding_rank, int) else rank_label(binding_rank)
+        ),
         "memory_efficiency_pct": 100 * metrics.memory_efficiency,
         "fragmentation_pct": 100 * metrics.fragmentation_ratio,
         "allocated_gib": job.peak_allocated_gib,
@@ -75,8 +96,12 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
     if job.throughput is not None:
         row["tflops_per_gpu"] = job.throughput.tflops_per_gpu
         row["tokens_per_second"] = job.throughput.tokens_per_second
+    if job.heterogeneous_budgets and job.binding_utilization is not None:
+        row["binding_utilization"] = job.binding_utilization
     if not job.success:
-        row["oom_ranks"] = job.oom_ranks
+        row["oom_ranks"] = [
+            rank if isinstance(rank, int) else rank_label(rank) for rank in job.oom_ranks
+        ]
         failed = next(run for run in job.class_runs if not run.success)
         row["oom_at_event"] = failed.replay.oom_at_event
     pool_bytes = (
@@ -118,6 +143,7 @@ def execute_point(
     reuse_results: bool = True,
     cache: SweepCache | None = None,
     traces: dict | None = None,
+    cache_max_bytes: int | None = None,
 ) -> dict:
     """Run one sweep point (the unit of work executed in worker processes).
 
@@ -126,10 +152,12 @@ def execute_point(
     hit/miss statistics aggregate); workers construct their own from the dir.
     ``traces`` optionally supplies pre-generated traces by rank (cache-less
     parallel sweeps ship shared traces to workers this way).
+    ``cache_max_bytes`` caps a worker-constructed cache (see
+    :meth:`SweepCache.prune`); ignored when ``cache`` is supplied.
     """
     started = time.perf_counter()
     if cache is None and cache_dir is not None:
-        cache = SweepCache(cache_dir)
+        cache = SweepCache(cache_dir, max_bytes=cache_max_bytes)
     result_key = None
     if cache is not None:
         result_key = point_result_key(cache, point)
@@ -151,6 +179,7 @@ def execute_point(
         ranks=point.ranks,
         device_name=point.device_name,
         device_capacity_gib=point.device_capacity_gib,
+        device_memory_by_rank=dict(point.device_memory_by_rank),
         seed=point.seed,
         scale=point.scale,
         with_throughput=True,
@@ -167,8 +196,10 @@ def execute_point(
 
 def _execute_point_job(payload: tuple) -> tuple[dict, dict]:
     """ProcessPoolExecutor.map adapter: returns (row, worker cache stats)."""
-    point, cache_dir, reuse_results, traces = payload
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    point, cache_dir, reuse_results, traces, cache_max_bytes = payload
+    cache = (
+        SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None
+    )
     row = execute_point(
         point,
         cache_dir,
@@ -207,11 +238,19 @@ def _prewarm_shared_traces(
         representatives = [cls[0] for cls in resolve_job_ranks(point.config, point.ranks)]
         if cache is not None:
             for rank in representatives:
-                cache.get_trace(point.config, seed=point.seed, scale=point.scale, rank=rank)
+                pp, ep = normalize_rank(rank)
+                cache.get_trace(
+                    point.config, seed=point.seed, scale=point.scale, rank=pp, ep_rank=ep
+                )
         else:
             shipped_by_key[key] = {
                 rank: generate_trace(
-                    point.config, seed=point.seed, scale=point.scale, rank=rank, cache=NO_CACHE
+                    point.config,
+                    seed=point.seed,
+                    scale=point.scale,
+                    rank=normalize_rank(rank)[0],
+                    ep_rank=normalize_rank(rank)[1],
+                    cache=NO_CACHE,
                 )
                 for rank in representatives
             }
@@ -226,8 +265,15 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: str | None = None,
     reuse_results: bool = True,
+    cache_max_bytes: int | None = None,
 ) -> SweepResult:
-    """Execute every point of ``spec`` and return the collected result rows."""
+    """Execute every point of ``spec`` and return the collected result rows.
+
+    ``cache_max_bytes`` caps the persistent cache *during* the sweep: every
+    store that pushes the cache past the cap LRU-evicts down to it inline
+    (see :meth:`SweepCache.prune`), so a long sweep cannot grow the cache
+    without bound between explicit ``cache prune`` invocations.
+    """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -236,7 +282,9 @@ def run_sweep(
 
     rows: dict[int, dict] = {}
     pending: list[SweepPoint] = []
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = (
+        SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None
+    )
     if cache is not None and reuse_results:
         # Serve warm rows from the parent so a fully-cached sweep involves no
         # worker processes at all (this is what makes reruns O(seconds)).
@@ -257,7 +305,7 @@ def run_sweep(
         if jobs > 1 and len(pending) > 1:
             shipped = _prewarm_shared_traces(pending, cache)
             payloads = [
-                (point, cache_dir, False, shipped.get(point.index))
+                (point, cache_dir, False, shipped.get(point.index), cache_max_bytes)
                 for point in pending
             ]
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
@@ -272,6 +320,13 @@ def run_sweep(
                     reuse_results=False,
                     cache=cache,
                 )
+
+    if cache is not None:
+        # Workers enforce the cap after their own stores, but a store in one
+        # worker can land after another worker's final eviction pass; one
+        # parent-side sweep after the pool drains guarantees the sweep ends
+        # at or below the cap.
+        cache.enforce_cap()
 
     cache_stats = cache.stats.as_dict() if cache is not None else {}
     for stats in worker_stats:

@@ -36,7 +36,7 @@ from repro.allocators.registry import available_allocators
 from repro.core.stalloc import STAllocConfig
 from repro.simulator.runner import STALLOC, STALLOC_NO_REUSE
 from repro.workloads.models import MODEL_REGISTRY, get_model
-from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.parallelism import ParallelismConfig, normalize_rank
 from repro.workloads.training import OPTIMIZATION_PRESETS, TrainingConfig, preset_config
 
 #: Grid axes that map onto ParallelismConfig fields.
@@ -69,11 +69,16 @@ class SweepPoint:
     scale: float = 1.0
     device_name: str = "A800-80GB"
     device_capacity_gib: float | None = None
-    #: Pipeline ranks this point simulates (job-level aggregation over all of
-    #: them); ``(0,)`` reproduces the single-rank behaviour of earlier specs.
-    ranks: tuple[int, ...] = (0,)
+    #: Ranks this point simulates (job-level aggregation over all of them):
+    #: pipeline-rank ints, or ``(pp, ep)`` coordinate pairs for jobs with
+    #: expert-parallel asymmetry; ``(0,)`` reproduces the single-rank
+    #: behaviour of earlier specs.
+    ranks: tuple = (0,)
     #: STAllocConfig overrides, sorted by knob name (hashable + picklable).
     stalloc_overrides: tuple[tuple[str, object], ...] = ()
+    #: Heterogeneous per-rank device budgets: ``(rank label, GiB)`` pairs
+    #: sorted by label (hashable + picklable); empty means a uniform device.
+    device_memory_by_rank: tuple[tuple[str, float], ...] = ()
 
     @property
     def allocator_label(self) -> str:
@@ -93,9 +98,43 @@ class SweepPoint:
             "device_name": self.device_name,
             "device_capacity_gib": self.device_capacity_gib,
             # Part of the key on purpose: a row aggregated over rank 0 only
-            # must never satisfy a job-level (all-ranks) sweep or vice versa.
-            "ranks": list(self.ranks),
+            # must never satisfy a job-level (all-ranks) sweep or vice versa,
+            # and expert-parallel coordinates must never alias pipeline ranks.
+            "ranks": [
+                rank if isinstance(rank, int) else list(rank) for rank in self.ranks
+            ],
+            "device_memory_by_rank": {
+                label: gib for label, gib in self.device_memory_by_rank
+            },
         }
+
+
+def _valid_rank_entry(rank) -> bool:
+    """A ranks-list entry: a non-negative int or a [pp, ep] pair of them."""
+    if isinstance(rank, bool):
+        return False
+    if isinstance(rank, int):
+        return rank >= 0
+    if isinstance(rank, (list, tuple)) and len(rank) == 2:
+        return all(
+            isinstance(part, int) and not isinstance(part, bool) and part >= 0
+            for part in rank
+        )
+    return False
+
+
+def _valid_rank_key(key) -> bool:
+    """A device_memory_by_rank key: int, '2' (stage) or '2.1' (coordinate)."""
+    if isinstance(key, bool):
+        return False
+    if isinstance(key, int):
+        return key >= 0
+    if not isinstance(key, str):
+        return False
+    parts = key.split(".")
+    if len(parts) not in (1, 2):
+        return False
+    return all(part.isdigit() for part in parts)
 
 
 @dataclass
@@ -113,9 +152,16 @@ class SweepSpec:
     device_capacity_gib: float | None = None
     seed: int = 0
     scale: float = 1.0
-    #: ``None`` (rank 0 only), ``"all"`` (every pipeline stage -- job-level
-    #: simulation), or an explicit list of pipeline ranks.
+    #: ``None`` (rank 0 only), ``"all"`` (every rank -- job-level simulation;
+    #: for MoE configs with expert asymmetry this is the full deduplicated
+    #: (pp, ep) coordinate grid), or an explicit list whose entries are
+    #: pipeline ranks (ints) or ``[pp, ep]`` coordinate pairs.
     ranks: object = None
+    #: Heterogeneous per-rank device budgets in GiB, e.g.
+    #: ``{"0": 40, "3": 96, "1.2": 80}`` -- keys are pipeline ranks (applying
+    #: to every EP coordinate of the stage) or exact ``pp.ep`` coordinates;
+    #: unlisted ranks use ``device_capacity_gib``/the device default.
+    device_memory_by_rank: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.allocators:
@@ -127,15 +173,28 @@ class SweepSpec:
                         f"ranks must be 'all' or a list of ints, got {self.ranks!r}"
                     )
             elif isinstance(self.ranks, (list, tuple)):
-                if not self.ranks or not all(
-                    isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0
-                    for rank in self.ranks
-                ):
-                    raise ValueError("ranks must be a non-empty list of ints >= 0")
+                if not self.ranks or not all(_valid_rank_entry(rank) for rank in self.ranks):
+                    raise ValueError(
+                        "ranks must be a non-empty list of ints >= 0 or [pp, ep] pairs"
+                    )
             else:
                 raise ValueError(
                     f"ranks must be 'all' or a list of ints, got {self.ranks!r}"
                 )
+        if self.device_memory_by_rank is not None:
+            if not isinstance(self.device_memory_by_rank, dict):
+                raise ValueError("device_memory_by_rank must map rank labels to GiB")
+            for key, value in self.device_memory_by_rank.items():
+                if not _valid_rank_key(key):
+                    raise ValueError(
+                        f"device_memory_by_rank key {key!r} is not a rank "
+                        f"(expected an int, '2', or '2.1')"
+                    )
+                if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"device_memory_by_rank[{key!r}] must be a positive GiB "
+                        f"value, got {value!r}"
+                    )
         known_allocators = set(available_allocators()) | STALLOC_ALLOCATORS
         for allocator in self.allocators:
             if allocator not in known_allocators:
@@ -214,6 +273,11 @@ class SweepSpec:
             "seed": self.seed,
             "scale": self.scale,
             "ranks": list(self.ranks) if isinstance(self.ranks, (list, tuple)) else self.ranks,
+            "device_memory_by_rank": (
+                dict(self.device_memory_by_rank)
+                if self.device_memory_by_rank is not None
+                else None
+            ),
         }
 
     # ------------------------------------------------------------------ #
@@ -250,6 +314,12 @@ class SweepSpec:
             scale = assignment.pop("scale", self.scale)
             config = self._build_config(assignment)
             ranks = self._resolve_ranks(config)
+            budgets = tuple(
+                sorted(
+                    (str(key), float(value))
+                    for key, value in (self.device_memory_by_rank or {}).items()
+                )
+            )
             for allocator in self.allocators:
                 for overrides in stalloc_combos if allocator in STALLOC_ALLOCATORS else [()]:
                     points.append(
@@ -263,25 +333,65 @@ class SweepSpec:
                             device_capacity_gib=self.device_capacity_gib,
                             ranks=ranks,
                             stalloc_overrides=overrides,
+                            device_memory_by_rank=budgets,
                         )
                     )
         return points
 
-    def _resolve_ranks(self, config: TrainingConfig) -> tuple[int, ...]:
-        """Concrete rank tuple for one grid cell (``"all"`` needs the config's PP)."""
+    def _resolve_ranks(self, config: TrainingConfig) -> tuple:
+        """Concrete rank tuple for one grid cell (``"all"`` needs the config's grid).
+
+        For configs with expert-parallel asymmetry the resolved ranks are
+        ``(pp, ep)`` coordinates -- ``"all"`` covers the full (deduplicated at
+        execution time) coordinate grid, int entries select every EP
+        coordinate of that stage and ``[pp, ep]`` pairs select one
+        coordinate.  Symmetric configs keep plain pipeline-rank ints.
+        """
         pipeline = config.parallelism.pipeline_parallel
+        asymmetric = config.expert_asymmetry
+        expert = config.parallelism.expert_parallel if asymmetric else 1
         if self.ranks is None:
-            return (0,)
+            # Single-rank default: one coordinate, never a whole stage.
+            return ((0, 0),) if asymmetric else (0,)
         if self.ranks == "all":
-            return tuple(range(pipeline))
-        ranks = tuple(sorted({int(rank) for rank in self.ranks}))
-        for rank in ranks:
-            if rank >= pipeline:
-                raise ValueError(
-                    f"rank {rank} out of range for pipeline_parallel={pipeline} "
-                    f"(config {config.describe()!r})"
+            if asymmetric:
+                return tuple(
+                    (pp, ep) for pp in range(pipeline) for ep in range(expert)
                 )
-        return ranks
+            return tuple(range(pipeline))
+        resolved: set = set()
+        for entry in self.ranks:
+            if isinstance(entry, int):
+                if entry >= pipeline:
+                    raise ValueError(
+                        f"rank {entry} out of range for pipeline_parallel={pipeline} "
+                        f"(config {config.describe()!r})"
+                    )
+                if asymmetric:
+                    resolved.update((entry, ep) for ep in range(expert))
+                else:
+                    resolved.add(entry)
+            else:
+                pp, ep = normalize_rank(entry)
+                if pp >= pipeline:
+                    raise ValueError(
+                        f"rank {pp} out of range for pipeline_parallel={pipeline} "
+                        f"(config {config.describe()!r})"
+                    )
+                # Bounds come from the layout, not the asymmetry flag: a
+                # typo'd ep must fail even while the router is balanced.
+                if ep >= config.parallelism.expert_parallel:
+                    raise ValueError(
+                        f"ep_rank {ep} out of range for expert_parallel="
+                        f"{config.parallelism.expert_parallel} "
+                        f"(config {config.describe()!r})"
+                    )
+                if not asymmetric:
+                    # EP ranks are interchangeable here; collapse to the stage.
+                    resolved.add(pp)
+                    continue
+                resolved.add((pp, ep))
+        return tuple(sorted(resolved))
 
     def _build_config(self, assignment: dict) -> TrainingConfig:
         """Resolve one grid assignment into a TrainingConfig."""
@@ -328,6 +438,7 @@ def _grid_label(preset: str | None, assignment: dict) -> str:
         "data_parallel": "dp",
         "expert_parallel": "ep",
         "virtual_pipeline_chunks": "vpp",
+        "moe_imbalance": "imb",
     }
     for axis in assignment:
         name = short.get(axis, axis)
@@ -390,6 +501,20 @@ SWEEP_PRESETS: dict[str, dict] = {
         "allocators": ["torch2.3", "stalloc"],
         "ranks": "all",
         "scale": 0.5,
+    },
+    # Expert-parallel smoke: a tiny MoE job whose full (pp, ep) grid is
+    # simulated at two router-imbalance settings.  At imbalance 0 the EP
+    # ranks collapse into their stage's class (2 replays per point); at 0.6
+    # every (pp, ep) coordinate routes a different token load and the rows
+    # report a coordinate-valued binding rank.  Runs in the CI compare gate.
+    "ep-smoke": {
+        "name": "ep-smoke",
+        "model": "moe-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        "base": {"num_microbatches": 2, "micro_batch_size": 1},
+        "grid": {"moe_imbalance": [0.0, 0.6]},
+        "allocators": ["torch2.3", "stalloc"],
+        "ranks": "all",
     },
     # STAlloc ablations (the §9.4 knobs) on a dense and a recompute config.
     "stalloc-ablation": {

@@ -12,8 +12,8 @@ recomputation, offloading, ZeRO and MoE routing.
 
 from repro.workloads.model_config import ModelConfig
 from repro.workloads.models import MODEL_REGISTRY, get_model
-from repro.workloads.moe import ExpertRouter
-from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.moe import ExpertRouter, balanced_split
+from repro.workloads.parallelism import ParallelismConfig, normalize_rank, rank_label
 from repro.workloads.schedule import PhaseSpec, build_schedule
 from repro.workloads.trace import Trace, TraceMetadata
 from repro.workloads.tracegen import TraceGenerator
@@ -24,6 +24,9 @@ __all__ = [
     "MODEL_REGISTRY",
     "get_model",
     "ParallelismConfig",
+    "normalize_rank",
+    "rank_label",
+    "balanced_split",
     "TrainingConfig",
     "OPTIMIZATION_PRESETS",
     "preset_config",

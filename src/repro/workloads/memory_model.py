@@ -52,15 +52,30 @@ def _round512(size: float) -> int:
 class MemoryModel:
     """Computes tensor sizes for one pipeline rank of a training config."""
 
-    def __init__(self, config: TrainingConfig, *, rank: int = 0):
+    def __init__(self, config: TrainingConfig, *, rank: int = 0, ep_rank: int = 0):
         if not 0 <= rank < config.parallelism.pipeline_parallel:
             raise ValueError(
                 f"rank must be in [0, {config.parallelism.pipeline_parallel}), got {rank}"
+            )
+        if not 0 <= ep_rank < config.parallelism.expert_parallel:
+            raise ValueError(
+                f"ep_rank must be in [0, {config.parallelism.expert_parallel}), got {ep_rank}"
+            )
+        if (
+            config.model.is_moe
+            and config.parallelism.expert_parallel > 1
+            and config.model.num_experts % config.parallelism.expert_parallel
+        ):
+            raise ValueError(
+                f"num_experts ({config.model.num_experts}) must be divisible by "
+                f"expert_parallel ({config.parallelism.expert_parallel}) so the "
+                f"expert-parallel slices cover every expert exactly once"
             )
         self.config = config
         self.model = config.model
         self.parallelism = config.parallelism
         self.rank = rank
+        self.ep_rank = ep_rank
 
     @property
     def is_first_stage(self) -> bool:

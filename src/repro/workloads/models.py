@@ -124,6 +124,32 @@ QWEN15_MOE_A27B = _register(
 )
 
 
+MOE_TINY = _register(
+    ModelConfig(
+        name="moe-tiny",
+        hidden_size=512,
+        num_layers=8,
+        num_attention_heads=8,
+        ffn_hidden_size=2048,
+        vocab_size=8192,
+        seq_length=512,
+        gated_mlp=True,
+        tie_embeddings=True,
+        num_experts=8,
+        moe_top_k=2,
+        expert_ffn_hidden_size=512,
+    )
+)
+"""Synthetic small MoE model for smoke tests and CI sweeps.
+
+Not part of the paper's evaluation: its purpose is an expert-parallel job
+(8 experts, EP up to 8) whose full (pp, ep) rank grid simulates in seconds.
+``seq_length * moe_top_k`` is divisible by ``num_experts``, so the
+``moe_imbalance == 0`` balanced split is *exactly* uniform and EP ranks are
+provably memory-identical -- the property the differential tests pin down.
+"""
+
+
 def get_model(name: str) -> ModelConfig:
     """Look up a model configuration by its registry name."""
     try:

@@ -8,11 +8,37 @@ The router here draws per-expert token counts from a seeded multinomial with a
 configurable imbalance factor, so traces are reproducible while still varying
 across micro-batches, layers and iterations exactly like a real gating
 network's output does.
+
+Expert parallelism splits the expert set over ``num_experts /
+num_local_experts`` expert-parallel ranks.  The gating decision is *global*
+-- one draw assigns every token to its experts -- and each EP rank merely
+observes the slice of that decision landing on its local experts.  Routers of
+the same job therefore share a seed (so their global draws agree and token
+counts are conserved across ranks) and differ only in ``ep_rank``, the slice
+they return.  With ``imbalance == 0`` the split is an exact deterministic
+balanced partition, so every EP rank sees the same load -- the property the
+rank-deduplication layer relies on to collapse EP ranks into one equivalence
+class.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def balanced_split(total: int, bins: int) -> list[int]:
+    """Deterministic balanced partition of ``total`` items into ``bins``.
+
+    Bresenham-style: bin ``i`` receives ``round(total*(i+1)/bins) -
+    round(total*i/bins)`` items, so every bin gets ``total // bins`` or one
+    more, the remainder is spread evenly across the range (not piled onto the
+    first bins, which would skew the first EP rank's slice), and the counts
+    sum to ``total`` exactly.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    edges = [(total * i) // bins for i in range(bins + 1)]
+    return [edges[i + 1] - edges[i] for i in range(bins)]
 
 
 class ExpertRouter:
@@ -26,6 +52,7 @@ class ExpertRouter:
         *,
         seed: int = 0,
         imbalance: float = 0.3,
+        ep_rank: int = 0,
     ):
         if num_experts < 1 or num_local_experts < 1:
             raise ValueError("num_experts and num_local_experts must be >= 1")
@@ -35,11 +62,52 @@ class ExpertRouter:
             raise ValueError("top_k must be >= 1")
         if not 0.0 <= imbalance <= 1.0:
             raise ValueError(f"imbalance must be in [0, 1], got {imbalance}")
+        if ep_rank < 0:
+            raise ValueError(f"ep_rank must be >= 0, got {ep_rank}")
+        if (ep_rank + 1) * num_local_experts > num_experts:
+            raise ValueError(
+                f"ep_rank {ep_rank} with {num_local_experts} local experts exceeds "
+                f"the {num_experts} global experts"
+            )
         self.num_experts = num_experts
         self.num_local_experts = num_local_experts
         self.top_k = top_k
         self.imbalance = imbalance
+        self.ep_rank = ep_rank
         self._rng = np.random.default_rng(seed)
+
+    @property
+    def local_expert_slice(self) -> slice:
+        """Indices of the global experts hosted on this EP rank."""
+        start = self.ep_rank * self.num_local_experts
+        return slice(start, start + self.num_local_experts)
+
+    def route_global(self, num_tokens: int) -> list[int]:
+        """Tokens assigned to *every* global expert for one layer execution.
+
+        This is the shared gating decision: routers constructed with the same
+        seed produce the same global counts regardless of their ``ep_rank``,
+        which is what conserves the total routed load (``num_tokens * top_k``)
+        across the expert-parallel group.  With ``imbalance == 0`` the split
+        is an exact balanced partition and consumes no randomness at all, so
+        it is identical for every seed as well.
+        """
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
+        total_assignments = num_tokens * self.top_k
+        if num_tokens == 0:
+            return [0] * self.num_experts
+        if self.imbalance == 0.0:
+            return balanced_split(total_assignments, self.num_experts)
+        # Expected load per expert is uniform; the imbalance factor mixes in a
+        # random preference vector (a crude but effective stand-in for a real
+        # gating network's skew).
+        base = np.full(self.num_experts, 1.0 / self.num_experts)
+        preference = self._rng.dirichlet(np.full(self.num_experts, 2.0))
+        probabilities = (1.0 - self.imbalance) * base + self.imbalance * preference
+        probabilities = probabilities / probabilities.sum()
+        counts = self._rng.multinomial(total_assignments, probabilities)
+        return [int(count) for count in counts]
 
     def route(self, num_tokens: int, *, layer: int = 0, microbatch: int = 0) -> list[int]:
         """Tokens assigned to each *local* expert for one layer execution.
@@ -50,21 +118,7 @@ class ExpertRouter:
         routing so different executions produce different (but reproducible)
         splits.
         """
-        if num_tokens < 0:
-            raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
-        if num_tokens == 0:
-            return [0] * self.num_local_experts
-        total_assignments = num_tokens * self.top_k
-        # Expected load per expert is uniform; the imbalance factor mixes in a
-        # random preference vector (a crude but effective stand-in for a real
-        # gating network's skew).
-        base = np.full(self.num_experts, 1.0 / self.num_experts)
-        preference = self._rng.dirichlet(np.full(self.num_experts, 2.0))
-        probabilities = (1.0 - self.imbalance) * base + self.imbalance * preference
-        probabilities = probabilities / probabilities.sum()
-        counts = self._rng.multinomial(total_assignments, probabilities)
-        local = counts[: self.num_local_experts]
-        return [int(count) for count in local]
+        return self.route_global(num_tokens)[self.local_expert_slice]
 
     def expected_local_tokens(self, num_tokens: int) -> int:
         """Average number of token assignments landing on this rank's experts."""

@@ -12,6 +12,41 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: A simulated rank coordinate: ``(pipeline rank, expert-parallel rank)``.
+RankCoord = tuple[int, int]
+
+
+def normalize_rank(rank) -> RankCoord:
+    """Coerce a rank selector into a ``(pp_rank, ep_rank)`` coordinate.
+
+    Plain integers are pipeline ranks (expert-parallel rank 0) -- the
+    single-axis form every pre-EP API accepted; 2-sequences are taken as
+    ``(pp, ep)`` verbatim.
+    """
+    if isinstance(rank, bool):
+        raise ValueError(f"rank must be an int or (pp, ep) pair, got {rank!r}")
+    if isinstance(rank, int):
+        return (rank, 0)
+    if isinstance(rank, (tuple, list)) and len(rank) == 2:
+        pp, ep = rank
+        if isinstance(pp, int) and isinstance(ep, int) \
+                and not isinstance(pp, bool) and not isinstance(ep, bool):
+            return (pp, ep)
+    raise ValueError(f"rank must be an int or (pp, ep) pair, got {rank!r}")
+
+
+def rank_label(rank) -> str:
+    """Human/JSON-friendly name of one rank: ``"2"`` or ``"2.1"`` (pp.ep).
+
+    Integer ranks keep their plain rendering so result rows of non-EP jobs
+    are byte-identical to earlier releases (``--compare`` baselines keep
+    matching); coordinates render as ``pp.ep``.
+    """
+    if isinstance(rank, int):
+        return str(rank)
+    pp, ep = normalize_rank(rank)
+    return f"{pp}.{ep}"
+
 
 @dataclass(frozen=True)
 class ParallelismConfig:
@@ -83,23 +118,40 @@ class ParallelismConfig:
         chunks = self.virtual_pipeline_chunks
         return min(num_microbatches * chunks, (self.pipeline_parallel - rank) * chunks)
 
-    def rank_memory_key(self, rank: int, num_microbatches: int) -> tuple:
-        """Hashable key identifying the memory behaviour of pipeline ``rank``.
+    def rank_memory_key(
+        self, rank: int, num_microbatches: int, *, ep_rank: int = 0,
+        expert_asymmetry: bool = False,
+    ) -> tuple:
+        """Hashable key identifying the memory behaviour of one rank.
 
         Two ranks with equal keys generate byte-identical allocation traces:
-        the trace depends on the rank only through (a) whether it is the first
-        stage (embedding + embedding activations), (b) whether it is the last
-        stage (LM head + logits), and (c) how many micro-batches its 1F1B
-        position keeps in flight.
+        the trace depends on the pipeline rank only through (a) whether it is
+        the first stage (embedding + embedding activations), (b) whether it is
+        the last stage (LM head + logits), and (c) how many micro-batches its
+        1F1B position keeps in flight.  With ``expert_asymmetry`` (an MoE job
+        whose router imbalance skews per-expert token loads at runtime) the
+        expert-parallel rank becomes part of the key as well: each EP rank
+        observes a different slice of the routed load, so EP peers stop being
+        interchangeable.  Without it every EP rank sees the same (balanced)
+        load and the key deliberately ignores ``ep_rank``.
         """
-        return (
+        key = (
             rank == 0,
             rank == self.pipeline_parallel - 1,
             self.in_flight_microbatches(rank, num_microbatches),
         )
+        if expert_asymmetry:
+            if not 0 <= ep_rank < self.expert_parallel:
+                raise ValueError(
+                    f"ep_rank must be in [0, {self.expert_parallel}), got {ep_rank}"
+                )
+            key += (ep_rank,)
+        return key
 
-    def rank_equivalence_classes(self, num_microbatches: int) -> list[tuple[int, ...]]:
-        """Group pipeline ranks into memory-equivalent classes.
+    def rank_equivalence_classes(
+        self, num_microbatches: int, *, expert_asymmetry: bool = False
+    ) -> list[tuple]:
+        """Group ranks into memory-equivalent classes.
 
         Returns the classes in ascending order of their representative (first)
         rank; simulating one representative per class is enough to know every
@@ -107,11 +159,29 @@ class ParallelismConfig:
         fewer -- trace generations.  Tensor/data-parallel peers are already
         implicitly deduplicated: they do not appear as distinct ranks because
         their memory behaviour is identical within a pipeline stage.
+
+        Without ``expert_asymmetry`` the classes partition the pipeline ranks
+        (plain ints, the historical behaviour) and expert-parallel peers
+        collapse into their stage's class.  With it they partition the full
+        ``(pp, ep)`` grid: every coordinate appears in exactly one class, and
+        EP peers land in distinct classes because their routed token loads
+        differ at runtime.
         """
-        classes: dict[tuple, list[int]] = {}
+        if not expert_asymmetry or self.expert_parallel == 1:
+            classes: dict[tuple, list[int]] = {}
+            for rank in range(self.pipeline_parallel):
+                classes.setdefault(
+                    self.rank_memory_key(rank, num_microbatches), []
+                ).append(rank)
+            return sorted((tuple(members) for members in classes.values()), key=lambda c: c[0])
+        coord_classes: dict[tuple, list[RankCoord]] = {}
         for rank in range(self.pipeline_parallel):
-            classes.setdefault(self.rank_memory_key(rank, num_microbatches), []).append(rank)
-        return sorted((tuple(members) for members in classes.values()), key=lambda c: c[0])
+            for ep_rank in range(self.expert_parallel):
+                key = self.rank_memory_key(
+                    rank, num_microbatches, ep_rank=ep_rank, expert_asymmetry=True
+                )
+                coord_classes.setdefault(key, []).append((rank, ep_rank))
+        return sorted((tuple(members) for members in coord_classes.values()), key=lambda c: c[0])
 
     def describe(self) -> str:
         """Compact label like ``TP2 PP4 DP2 VPP2``."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.events import PhaseKind
-from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.parallelism import ParallelismConfig, normalize_rank
 
 
 @dataclass(frozen=True)
@@ -106,13 +106,20 @@ def interleaved_virtual_pipeline(
 def build_schedule(
     parallelism: ParallelismConfig, num_microbatches: int, rank: int = 0
 ) -> list[PhaseSpec]:
-    """Forward/backward schedule for stage ``rank``, with INIT and OPTIMIZER bracketing."""
+    """Forward/backward schedule for stage ``rank``, with INIT and OPTIMIZER bracketing.
+
+    ``rank`` may be a plain pipeline rank or a ``(pp, ep)`` coordinate; the
+    schedule depends only on the pipeline position -- expert-parallel peers of
+    one stage execute the same phase order and differ only in the token loads
+    routed to them within each forward/backward pass.
+    """
+    pipeline_rank, _ = normalize_rank(rank)
     stages = parallelism.pipeline_parallel
     chunks = parallelism.virtual_pipeline_chunks
     if chunks > 1:
-        body = interleaved_virtual_pipeline(stages, num_microbatches, chunks, rank)
+        body = interleaved_virtual_pipeline(stages, num_microbatches, chunks, pipeline_rank)
     else:
-        body = one_f_one_b(stages, num_microbatches, rank)
+        body = one_f_one_b(stages, num_microbatches, pipeline_rank)
     return [PhaseSpec(PhaseKind.INIT)] + body + [PhaseSpec(PhaseKind.OPTIMIZER)]
 
 
@@ -120,6 +127,7 @@ def peak_in_flight_microbatches(
     parallelism: ParallelismConfig, num_microbatches: int, rank: int = 0
 ) -> int:
     """Upper bound on concurrently-live (micro-batch, chunk) activation sets."""
+    pipeline_rank, _ = normalize_rank(rank)
     stages = parallelism.pipeline_parallel
     chunks = parallelism.virtual_pipeline_chunks
-    return min(num_microbatches * chunks, (stages - rank) * chunks)
+    return min(num_microbatches * chunks, (stages - pipeline_rank) * chunks)

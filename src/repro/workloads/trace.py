@@ -42,6 +42,9 @@ class TraceMetadata:
     scale: float = 1.0
     #: Pipeline rank the trace was generated for.
     rank: int = 0
+    #: Expert-parallel rank the trace was generated for (0 unless the job
+    #: simulates expert-parallel asymmetry).
+    ep_rank: int = 0
     #: TRACEGEN_VERSION of the generator that produced this trace (0 for
     #: traces serialized before the field existed); lets the persistent cache
     #: detect entries written by an older generator without re-hashing.

@@ -38,7 +38,10 @@ from repro.workloads.training import TrainingConfig
 #: cannot serve traces produced by an older generator.
 #: Version 2: rank-aware schedules (per-stage 1F1B warm-up), last-stage LM
 #: head / fp32 logits, and rank + generator version in the trace metadata.
-TRACEGEN_VERSION = 2
+#: Version 3: expert-parallel rank asymmetry -- per-EP-rank router slices,
+#: the exact balanced split at ``moe_imbalance == 0``, and the EP rank in the
+#: trace metadata and fingerprint.
+TRACEGEN_VERSION = 3
 
 
 def config_fingerprint(
@@ -47,6 +50,7 @@ def config_fingerprint(
     seed: int = 0,
     scale: float = 1.0,
     rank: int = 0,
+    ep_rank: int = 0,
     size_jitter: tuple[float, ...] | None = None,
     async_free_skew: int | None = None,
 ) -> str:
@@ -55,7 +59,9 @@ def config_fingerprint(
     Trace generation is deterministic (covered by the determinism regression
     tests), so this fingerprint is a valid content address for the trace a
     :class:`TraceGenerator` built from the same inputs would produce.  The
-    sweep cache uses it as the on-disk key for generated traces.
+    sweep cache uses it as the on-disk key for generated traces.  Both rank
+    coordinates are part of the payload, so per-(pp, ep)-rank traces of one
+    job can never alias each other.
     """
     jitter = TraceGenerator.DEFAULT_SIZE_JITTER if size_jitter is None else tuple(size_jitter)
     skew = TraceGenerator.DEFAULT_ASYNC_FREE_SKEW if async_free_skew is None else int(async_free_skew)
@@ -65,6 +71,7 @@ def config_fingerprint(
         "seed": int(seed),
         "scale": float(scale),
         "rank": int(rank),
+        "ep_rank": int(ep_rank),
         "size_jitter": [float(f) for f in jitter],
         "async_free_skew": skew,
     }
@@ -121,16 +128,18 @@ class TraceGenerator:
         seed: int = 0,
         scale: float = 1.0,
         rank: int = 0,
+        ep_rank: int = 0,
         size_jitter: tuple[float, ...] | None = None,
         async_free_skew: int | None = None,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {scale}")
         self.config = config
-        self.memory = MemoryModel(config, rank=rank)
+        self.memory = MemoryModel(config, rank=rank, ep_rank=ep_rank)
         self.seed = seed
         self.scale = scale
         self.rank = rank
+        self.ep_rank = ep_rank
         self.size_jitter = self.DEFAULT_SIZE_JITTER if size_jitter is None else tuple(size_jitter)
         if not self.size_jitter or any(factor <= 0 for factor in self.size_jitter):
             raise ValueError("size_jitter must contain positive factors")
@@ -179,6 +188,7 @@ class TraceGenerator:
             seed=self.seed,
             scale=self.scale,
             rank=self.rank,
+            ep_rank=self.ep_rank,
             tracegen_version=TRACEGEN_VERSION,
         )
         module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
@@ -195,11 +205,18 @@ class TraceGenerator:
     def _make_router(self) -> ExpertRouter | None:
         if not self.config.model.is_moe:
             return None
+        # Every EP rank of the job derives the same router seed: the gating
+        # decision is global, and each rank observes the slice of it landing
+        # on its local experts (so token counts are conserved across the
+        # expert-parallel group).  The pipeline rank still shapes the routed
+        # sequence through the order of its schedule's forward passes.
         return ExpertRouter(
             num_experts=self.config.model.num_experts,
             num_local_experts=self.memory.num_local_experts,
             top_k=self.config.model.moe_top_k,
             seed=self.seed,
+            imbalance=self.config.moe_imbalance,
+            ep_rank=self.ep_rank,
         )
 
     def _reset(self) -> None:

@@ -30,6 +30,11 @@ class TrainingConfig:
     param_dtype_bytes: int = 2
     grad_dtype_bytes: int = 4
     optimizer_bytes_per_param: int = 12
+    #: MoE router skew in [0, 1]: 0 routes tokens in an exact balanced split
+    #: (every expert-parallel rank sees the same load), larger values mix in a
+    #: random per-expert preference so EP ranks diverge at runtime.  Ignored
+    #: for dense models.
+    moe_imbalance: float = 0.3
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -41,6 +46,8 @@ class TrainingConfig:
             raise ValueError(f"zero_stage must be 0-3, got {self.zero_stage}")
         if self.framework not in ("megatron", "colossalai"):
             raise ValueError(f"unknown framework {self.framework!r}")
+        if not 0.0 <= self.moe_imbalance <= 1.0:
+            raise ValueError(f"moe_imbalance must be in [0, 1], got {self.moe_imbalance}")
 
     @property
     def sequence_length(self) -> int:
@@ -58,6 +65,22 @@ class TrainingConfig:
     @property
     def uses_distributed_optimizer(self) -> bool:
         return self.zero_stage >= 1
+
+    @property
+    def expert_asymmetry(self) -> bool:
+        """Whether expert-parallel ranks of this job differ in memory behaviour.
+
+        True exactly when runtime token routing can skew per-rank expert loads:
+        an MoE model, more than one expert-parallel rank, and a non-zero router
+        imbalance.  At ``moe_imbalance == 0`` the router's balanced split gives
+        every EP rank the same load, so EP peers collapse back into one
+        memory-equivalence class (the pre-EP-awareness behaviour).
+        """
+        return (
+            self.model.is_moe
+            and self.parallelism.expert_parallel > 1
+            and self.moe_imbalance > 0.0
+        )
 
     def describe(self) -> str:
         """Readable one-line description used in experiment tables."""

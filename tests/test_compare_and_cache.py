@@ -269,6 +269,49 @@ class TestCachePrune:
         assert report["remaining_bytes"] == 0
         assert cache.size_bytes() == 0
 
+    def test_inline_cap_enforced_on_store(self, tmp_path, tiny_dense_config):
+        """A capped cache evicts inline: storing past max_bytes prunes back
+        under the cap without an explicit prune call."""
+        uncapped = SweepCache(tmp_path / "probe")
+        uncapped.get_trace(tiny_dense_config, seed=0, scale=0.25)
+        one_trace = uncapped.size_bytes()
+        cap = int(one_trace * 1.5)
+        cache = SweepCache(tmp_path / "capped", max_bytes=cap)
+        for seed in range(4):
+            cache.get_trace(tiny_dense_config, seed=seed, scale=0.25)
+            assert cache.size_bytes() <= cap
+        with pytest.raises(ValueError, match="max_bytes"):
+            SweepCache(tmp_path / "bad", max_bytes=-1)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_capped_sweep_never_exceeds_max_bytes(self, jobs, tmp_path):
+        """Satellite acceptance: a sweep run under a cache cap finishes with
+        the cache at or below the cap, serially and across workers."""
+        from repro.sweep import SweepSpec, run_sweep
+
+        spec = SweepSpec.from_dict(
+            {
+                "name": "capped",
+                "model": "gpt2-345m",
+                "parallelism": {"pipeline_parallel": 2},
+                "base": {"num_microbatches": 2},
+                "grid": {"micro_batch_size": [1, 2]},
+                "allocators": ["torch2.3"],
+                "scale": 0.25,
+            }
+        )
+        cache_dir = tmp_path / "cache"
+        probe = run_sweep(spec, jobs=jobs, cache_dir=cache_dir)
+        assert probe.num_points == 2
+        unbounded = SweepCache(cache_dir).size_bytes()
+        assert unbounded > 0
+        cap = max(1, unbounded // 2)
+
+        capped_dir = tmp_path / "capped"
+        result = run_sweep(spec, jobs=jobs, cache_dir=capped_dir, cache_max_bytes=cap)
+        assert result.num_points == 2  # eviction never breaks execution
+        assert SweepCache(capped_dir).size_bytes() <= cap
+
     def test_prune_rejects_negative_budget(self, tmp_path):
         with pytest.raises(ValueError, match="max_bytes"):
             SweepCache(tmp_path).prune(max_bytes=-1)
@@ -309,6 +352,45 @@ class TestCompareCli:
         )
         assert code == 2
         assert "cannot load --compare baseline" in capsys.readouterr().err
+
+    def test_dual_file_compare_without_running(self, tmp_path, capsys):
+        """sweep --compare old.json new.json diffs two saved files: no spec,
+        no execution, exit code from the diff alone."""
+        baseline = tmp_path / "old.json"
+        _result([_row()]).write_json(baseline)
+        identical = tmp_path / "new.json"
+        _result([_row()]).write_json(identical)
+        assert cli_main(["sweep", "--compare", str(baseline), str(identical)]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+        regressed = tmp_path / "regressed.json"
+        _result([_row(allocated_gib=4.0)]).write_json(regressed)
+        assert cli_main(["sweep", "--compare", str(baseline), str(regressed)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # Tolerance rescues a small move (2.0 -> 2.0004 is < 1%).
+        slight = tmp_path / "slight.json"
+        _result([_row(allocated_gib=2.0004)]).write_json(slight)
+        assert cli_main(
+            ["sweep", "--compare", str(baseline), str(slight), "--tolerance-pct", "1"]
+        ) == 0
+
+    def test_dual_file_compare_usage_errors(self, tmp_path, capsys):
+        baseline = tmp_path / "old.json"
+        _result([_row()]).write_json(baseline)
+        # A spec plus two files is ambiguous: refuse.
+        code = cli_main(["sweep", "smoke", "--compare", str(baseline), str(baseline)])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        # A missing file is a usage error, not a crash.
+        code = cli_main(["sweep", "--compare", str(baseline), str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot compare" in capsys.readouterr().err
+        # More than two files is a usage error.
+        code = cli_main(
+            ["sweep", "--compare", str(baseline), str(baseline), str(baseline)]
+        )
+        assert code == 2
+        assert "one or two" in capsys.readouterr().err
 
     def test_cache_prune_cli(self, tmp_path, capsys, tiny_dense_config):
         cache = SweepCache(tmp_path / "cache")
