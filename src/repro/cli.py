@@ -9,6 +9,7 @@ Usage::
     stalloc-repro sweep my_spec.json --jobs 8
     stalloc-repro sweep job-smoke --compare baseline.json   # CI regression gate
     stalloc-repro sweep --compare old.json new.json         # diff two saved results
+    stalloc-repro sweep ep-comm-smoke --jobs 2              # all-to-all transients on/off
     stalloc-repro sweep ep-smoke --cache-max-gib 1          # cap the cache inline
     stalloc-repro sweep --list
     stalloc-repro cache prune --max-gib 2

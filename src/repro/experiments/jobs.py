@@ -128,3 +128,61 @@ def run_ep_table(*, quick: bool = False) -> ExperimentResult:
             "per-rank peak spread the binding rank is chosen from."
         ),
     )
+
+
+@register_experiment("comm_table")
+def run_comm_table(*, quick: bool = False) -> ExperimentResult:
+    """Peak memory vs. router imbalance, with and without all-to-all transients.
+
+    The static planner must provision for the load-imbalance-driven memory
+    spike of the MoE all-to-all: the dispatch/combine staging buffers scale
+    with the tokens actually routed, so the binding EP rank's peak grows with
+    ``moe_imbalance`` *through communication*, not just through the expert
+    activations.  ``moe_comm_factor == 0`` is the comm-free baseline trace; the
+    delta column isolates what communication adds to the provisioning target.
+    """
+    workload = A800_WORKLOADS["qwen1.5-moe-a2.7b"]
+    scale = 0.25 if quick else 0.5
+    imbalances = [0.0, 0.6] if quick else [0.0, 0.3, 0.6]
+    comm_factors = [0.0, 1.0]
+    allocator = "torch2.3"
+    rows = []
+    for imbalance in imbalances:
+        peaks: dict[float, float] = {}
+        for comm_factor in comm_factors:
+            config = workload.preset("Naive", micro_batch_size=1 if quick else None).with_(
+                moe_imbalance=imbalance,
+                moe_comm_factor=comm_factor,
+                num_microbatches=4,
+            )
+            job = run_job(
+                config,
+                allocator,
+                ranks="all",
+                device_name=workload.device_name,
+                scale=scale,
+            )
+            peaks[comm_factor] = job.peak_allocated_gib
+            rows.append(
+                {
+                    "imbalance": imbalance,
+                    "comm_factor": comm_factor,
+                    "binding_rank": rank_label(job.binding_rank),
+                    "job_peak_gib": round(job.peak_allocated_gib, 3),
+                    "comm_peak_gib": round(job.comm_peak_bytes / (1 << 30), 3),
+                    "comm_delta_gib": round(
+                        job.peak_allocated_gib - peaks[comm_factors[0]], 3
+                    ),
+                    "status": "ok" if job.success else f"OOM@ranks{job.oom_ranks}",
+                }
+            )
+    return ExperimentResult(
+        experiment_id="comm_table",
+        title="All-to-all transients: job peak vs. router imbalance and comm factor",
+        rows=rows,
+        notes=(
+            "comm_delta_gib is the peak growth over the comm-free trace of the same "
+            "imbalance: the provisioning headroom the all-to-all staging buffers "
+            "demand, which widens as routing skews toward hot experts."
+        ),
+    )

@@ -55,6 +55,10 @@ class WorkloadRun:
     ep_rank: int = 0
     throughput: ThroughputEstimate | None = None
     planning_report: dict = field(default_factory=dict)
+    #: Peak concurrently-live COMM_BUFFER bytes of the replayed trace (the
+    #: all-to-all dispatch/combine transients plus P2P/ZeRO buffers);
+    #: trace-determined, identical for every allocator.
+    comm_peak_bytes: int = 0
 
     @property
     def memory_efficiency(self) -> float:
@@ -83,6 +87,7 @@ class WorkloadRun:
             "device": self.device_name,
             "rank": self.rank,
             "ep_rank": self.ep_rank,
+            "comm_peak_bytes": self.comm_peak_bytes,
         }
         data.update(self.replay.as_dict())
         if self.throughput is not None:
@@ -330,6 +335,7 @@ def run_workload(
         ep_rank=ep_rank,
         throughput=throughput,
         planning_report=planning_report,
+        comm_peak_bytes=trace.comm_peak_bytes(),
     )
 
 
@@ -679,6 +685,17 @@ class JobRun:
         return max(run.replay.metrics.peak_reserved_gib for run in self.class_runs)
 
     @property
+    def comm_peak_bytes(self) -> int:
+        """Job communication peak: max per-rank live COMM_BUFFER bytes.
+
+        With a skewed MoE router this is dominated by the EP rank whose
+        experts attract the most tokens (its all-to-all recv staging buffer
+        scales with the routed load), which is exactly the transient the
+        static planner must provision for.
+        """
+        return max(run.comm_peak_bytes for run in self.class_runs)
+
+    @property
     def oom_ranks(self) -> list:
         """Every requested rank whose replay ran out of memory."""
         return sorted(
@@ -715,6 +732,7 @@ class JobRun:
             "peak_allocated_gib": self.peak_allocated_gib,
             "mean_peak_allocated_gib": self.mean_peak_allocated_gib,
             "peak_reserved_gib": self.peak_reserved_gib,
+            "comm_peak_bytes": self.comm_peak_bytes,
             "per_rank_peak_allocated_gib": {
                 rank_label(rank): run.replay.metrics.peak_allocated_gib
                 for rank, run in self.runs_by_rank().items()

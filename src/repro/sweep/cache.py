@@ -38,7 +38,9 @@ from repro.workloads.training import TrainingConfig
 #: Version 3: expert-parallel rank identity (EP coordinates in the point's
 #: rank selection, coordinate-valued binding ranks) and heterogeneous
 #: per-rank device budgets in the point payload.
-RESULT_FORMAT_VERSION = 3
+#: Version 4: the ``comm_peak_bytes`` column (all-to-all dispatch/combine
+#: transients in the trace) and ``moe_comm_factor`` in the config payload.
+RESULT_FORMAT_VERSION = 4
 
 #: Key under which :meth:`SweepCache.store_result` embeds the writer's result
 #: format version inside each stored row (stripped again on load); lets

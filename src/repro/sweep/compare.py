@@ -34,6 +34,7 @@ METRIC_DIRECTIONS: dict[str, int] = {
     "allocated_gib": +1,
     "allocated_mean_gib": 0,
     "reserved_gib": +1,
+    "comm_peak_bytes": +1,
     "fragmentation_pct": 0,
     "memory_efficiency_pct": 0,
     "tflops_per_gpu": -1,

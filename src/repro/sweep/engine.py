@@ -88,6 +88,7 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
         "allocated_gib": job.peak_allocated_gib,
         "allocated_mean_gib": job.mean_peak_allocated_gib,
         "reserved_gib": job.peak_reserved_gib,
+        "comm_peak_bytes": job.comm_peak_bytes,
         "events_replayed": sum(run.replay.events_replayed for run in job.class_runs),
         "elapsed_seconds": round(elapsed, 4),
         "cached": False,

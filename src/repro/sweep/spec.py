@@ -439,6 +439,7 @@ def _grid_label(preset: str | None, assignment: dict) -> str:
         "expert_parallel": "ep",
         "virtual_pipeline_chunks": "vpp",
         "moe_imbalance": "imb",
+        "moe_comm_factor": "comm",
     }
     for axis in assignment:
         name = short.get(axis, axis)
@@ -513,6 +514,21 @@ SWEEP_PRESETS: dict[str, dict] = {
         "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
         "base": {"num_microbatches": 2, "micro_batch_size": 1},
         "grid": {"moe_imbalance": [0.0, 0.6]},
+        "allocators": ["torch2.3", "stalloc"],
+        "ranks": "all",
+    },
+    # All-to-all communication smoke: the skewed ep-smoke job with the comm
+    # transients toggled on.  At comm=0 the trace is the legacy (comm-free)
+    # stream; at comm=1 every layer execution stages a dispatch/combine
+    # send+recv pair sized by the routed load, so the binding EP coordinate's
+    # peak -- and the comm_peak_bytes column -- must strictly grow.  Runs in
+    # the CI compare gate next to ep-smoke.
+    "ep-comm-smoke": {
+        "name": "ep-comm-smoke",
+        "model": "moe-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        "base": {"num_microbatches": 2, "micro_batch_size": 1, "moe_imbalance": 0.6},
+        "grid": {"moe_comm_factor": [0.0, 1.0]},
         "allocators": ["torch2.3", "stalloc"],
         "ranks": "all",
     },

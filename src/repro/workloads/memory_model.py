@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.events import TensorCategory
+from repro.workloads.moe import balanced_split
 from repro.workloads.training import TrainingConfig
 
 #: bytes per element for activations (bf16).
@@ -310,6 +311,60 @@ class MemoryModel:
             TensorSpec(f"{prefix}_out", _round512(expert_tokens * h * ACT_BYTES),
                        TensorCategory.EXPERT_ACTIVATION, True),
         ]
+
+    # ------------------------------------------------------------------ #
+    # Expert-parallel all-to-all communication transients
+    # ------------------------------------------------------------------ #
+    def dispatch_send_tokens(self) -> int:
+        """Token assignments this EP rank dispatches through the all-to-all.
+
+        The origin side of the all-to-all is routing-independent: the
+        micro-batch is sharded evenly over the EP group and every local token
+        contributes ``top_k`` assignments, so this is the rank's balanced
+        share of the ``tokens * top_k`` routed load.  Summed over the EP
+        group it equals the total routed load exactly -- the same invariant
+        the receive side satisfies through the global gating draw.
+        """
+        if not self.model.is_moe:
+            return 0
+        return balanced_split(self.tokens * self.model.moe_top_k, self.ep)[self.ep_rank]
+
+    def _a2a_buffer(self, tag: str, token_count: int) -> list[TensorSpec]:
+        factor = self.config.moe_comm_factor
+        if token_count <= 0 or factor <= 0:
+            return []
+        size = _round512(factor * token_count * self.model.hidden_size * ACT_BYTES)
+        return [TensorSpec(tag, size, TensorCategory.COMM_BUFFER)]
+
+    def moe_dispatch_tensors(self, recv_tokens: int) -> list[TensorSpec]:
+        """All-to-all staging buffers of one layer's forward dispatch.
+
+        ``a2a_dispatch_send`` holds the activations of the assignments leaving
+        this rank (the balanced origin share); ``a2a_dispatch_recv`` holds the
+        activations landing on the local experts (``recv_tokens``, the sum of
+        the router's local slice -- the load-imbalance-sensitive side).  Both
+        are sized ``moe_comm_factor`` copies of the routed activations and
+        empty when the factor is 0 (the comm-free baseline trace).
+        """
+        if not self.model.is_moe:
+            return []
+        return self._a2a_buffer("a2a_dispatch_send", self.dispatch_send_tokens()) + \
+            self._a2a_buffer("a2a_dispatch_recv", recv_tokens)
+
+    def moe_combine_tensors(self, recv_tokens: int) -> list[TensorSpec]:
+        """All-to-all staging buffers of the backward-facing combine.
+
+        The combine path mirrors dispatch with the directions swapped: the
+        expert outputs/gradients of the ``recv_tokens`` processed locally are
+        sent back (``a2a_combine_send``), and the rank's balanced origin
+        share comes home (``a2a_combine_recv``).  Sizes are therefore
+        symmetric to the dispatch pair, so combine conserves the routed load
+        across the EP group exactly like dispatch does.
+        """
+        if not self.model.is_moe:
+            return []
+        return self._a2a_buffer("a2a_combine_send", recv_tokens) + \
+            self._a2a_buffer("a2a_combine_recv", self.dispatch_send_tokens())
 
     # ------------------------------------------------------------------ #
     # ZeRO / distributed-optimizer communication buffers

@@ -124,6 +124,27 @@ QWEN15_MOE_A27B = _register(
 )
 
 
+GPT_TINY = _register(
+    ModelConfig(
+        name="gpt-tiny",
+        hidden_size=256,
+        num_layers=4,
+        num_attention_heads=4,
+        ffn_hidden_size=1024,
+        vocab_size=4096,
+        seq_length=256,
+        gated_mlp=False,
+        tie_embeddings=True,
+    )
+)
+"""Synthetic dense model for golden-trace fixtures and smoke tests.
+
+Not part of the paper's evaluation: a full-scale trace generates in
+milliseconds, so regression tests can pin its digest without slowing the
+suite.  ``num_layers`` divides by pipeline degrees 1/2/4.
+"""
+
+
 MOE_TINY = _register(
     ModelConfig(
         name="moe-tiny",

@@ -4,7 +4,7 @@ MoE layers decide *at runtime* how many tokens each expert processes, so the
 sizes of expert activation tensors are only known when the layer executes.
 This is the "dynamicity" STAlloc's dynamic allocator handles (§5.2/§6.2).
 
-The router here draws per-expert token counts from a seeded multinomial with a
+The router draws per-expert token counts from a seeded multinomial with a
 configurable imbalance factor, so traces are reproducible while still varying
 across micro-batches, layers and iterations exactly like a real gating
 network's output does.
@@ -19,6 +19,17 @@ they return.  With ``imbalance == 0`` the split is an exact deterministic
 balanced partition, so every EP rank sees the same load -- the property the
 rank-deduplication layer relies on to collapse EP ranks into one equivalence
 class.
+
+Every draw is keyed by the *layer execution* it belongs to: the RNG for one
+``(layer, microbatch)`` pair is derived from ``(seed, layer, microbatch)``
+alone, never from the order in which ``route`` was called.  Routers of
+different ranks execute their schedules in different orders (1F1B warm-up
+depth varies by stage), so a call-order-dependent stream would hand the same
+layer execution different gating decisions on different ranks -- breaking
+token conservation and the all-to-all transient sizes derived from it.  Draws
+are additionally memoised per execution, so asking twice (forward and the
+recomputed backward of one micro-batch, or the dispatch/combine pair) always
+returns identical counts.
 """
 
 from __future__ import annotations
@@ -74,7 +85,12 @@ class ExpertRouter:
         self.top_k = top_k
         self.imbalance = imbalance
         self.ep_rank = ep_rank
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        #: Memoised global draws keyed by (num_tokens, layer, microbatch):
+        #: one layer execution has exactly one gating decision, no matter how
+        #: often (forward, recomputed backward, dispatch and combine sizing)
+        #: or in which order the ranks ask for it.
+        self._draws: dict[tuple[int, int, int], list[int]] = {}
 
     @property
     def local_expert_slice(self) -> slice:
@@ -82,43 +98,74 @@ class ExpertRouter:
         start = self.ep_rank * self.num_local_experts
         return slice(start, start + self.num_local_experts)
 
-    def route_global(self, num_tokens: int) -> list[int]:
+    def _execution_rng(self, layer: int, microbatch: int) -> np.random.Generator:
+        """RNG of one layer execution, a pure function of (seed, layer, mb).
+
+        Derived through a :class:`numpy.random.SeedSequence` spawn key, so
+        nearby executions get statistically independent streams while any two
+        routers sharing a seed -- regardless of ``ep_rank`` or of the order
+        their schedules visit executions -- derive the identical stream for
+        the identical execution.
+        """
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(int(layer), int(microbatch))
+        )
+        return np.random.default_rng(sequence)
+
+    def route_global(
+        self, num_tokens: int, *, layer: int = 0, microbatch: int = 0
+    ) -> list[int]:
         """Tokens assigned to *every* global expert for one layer execution.
 
         This is the shared gating decision: routers constructed with the same
-        seed produce the same global counts regardless of their ``ep_rank``,
-        which is what conserves the total routed load (``num_tokens * top_k``)
-        across the expert-parallel group.  With ``imbalance == 0`` the split
-        is an exact balanced partition and consumes no randomness at all, so
-        it is identical for every seed as well.
+        seed produce the same global counts for the same ``(layer,
+        microbatch)`` execution regardless of their ``ep_rank`` *and*
+        regardless of call order, which is what conserves the total routed
+        load (``num_tokens * top_k``) across the expert-parallel group.  With
+        ``imbalance == 0`` the split is an exact balanced partition and
+        consumes no randomness at all, so it is identical for every seed as
+        well.
         """
         if num_tokens < 0:
             raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
+        if layer < 0 or microbatch < 0:
+            raise ValueError(
+                f"layer and microbatch must be non-negative, got ({layer}, {microbatch})"
+            )
         total_assignments = num_tokens * self.top_k
         if num_tokens == 0:
             return [0] * self.num_experts
         if self.imbalance == 0.0:
             return balanced_split(total_assignments, self.num_experts)
+        key = (num_tokens, layer, microbatch)
+        cached = self._draws.get(key)
+        if cached is not None:
+            return list(cached)
         # Expected load per expert is uniform; the imbalance factor mixes in a
         # random preference vector (a crude but effective stand-in for a real
         # gating network's skew).
+        rng = self._execution_rng(layer, microbatch)
         base = np.full(self.num_experts, 1.0 / self.num_experts)
-        preference = self._rng.dirichlet(np.full(self.num_experts, 2.0))
+        preference = rng.dirichlet(np.full(self.num_experts, 2.0))
         probabilities = (1.0 - self.imbalance) * base + self.imbalance * preference
         probabilities = probabilities / probabilities.sum()
-        counts = self._rng.multinomial(total_assignments, probabilities)
-        return [int(count) for count in counts]
+        counts = [int(count) for count in rng.multinomial(total_assignments, probabilities)]
+        self._draws[key] = counts
+        return list(counts)
 
     def route(self, num_tokens: int, *, layer: int = 0, microbatch: int = 0) -> list[int]:
         """Tokens assigned to each *local* expert for one layer execution.
 
         The total routed load across all experts is ``num_tokens * top_k``
         (every token selects ``top_k`` experts); this rank only sees the slice
-        destined for its local experts.  ``layer``/``microbatch`` perturb the
-        routing so different executions produce different (but reproducible)
-        splits.
+        destined for its local experts.  ``layer``/``microbatch`` identify the
+        execution: they alone (with the seed) determine the draw, so different
+        executions produce different -- but reproducible and cross-rank
+        consistent -- splits.
         """
-        return self.route_global(num_tokens)[self.local_expert_slice]
+        return self.route_global(num_tokens, layer=layer, microbatch=microbatch)[
+            self.local_expert_slice
+        ]
 
     def expected_local_tokens(self, num_tokens: int) -> int:
         """Average number of token assignments landing on this rank's experts."""

@@ -45,6 +45,10 @@ class TraceMetadata:
     #: Expert-parallel rank the trace was generated for (0 unless the job
     #: simulates expert-parallel asymmetry).
     ep_rank: int = 0
+    #: ``TrainingConfig.moe_comm_factor`` the trace was generated with: the
+    #: scale of the expert-parallel all-to-all dispatch/combine transients
+    #: (0 for dense models and for traces without the comm model).
+    moe_comm_factor: float = 0.0
     #: TRACEGEN_VERSION of the generator that produced this trace (0 for
     #: traces serialized before the field existed); lets the persistent cache
     #: detect entries written by an older generator without re-hashing.
@@ -103,6 +107,28 @@ class Trace:
     def total_allocated_bytes(self) -> int:
         """Sum of all allocation sizes over the iteration."""
         return sum(e.size for e in self.events if e.is_alloc())
+
+    def comm_peak_bytes(self) -> int:
+        """Peak concurrently-live communication-buffer bytes.
+
+        Covers every :attr:`TensorCategory.COMM_BUFFER` tensor -- the
+        expert-parallel all-to-all dispatch/combine transients, pipeline P2P
+        buffers, ZeRO gather/reduce buckets -- so it quantifies how much of
+        the memory peak a static planner must provision for communication
+        alone.  Like :meth:`peak_allocated_bytes` it is trace-determined:
+        every allocator replays the same curve.
+        """
+        live = 0
+        peak = 0
+        for event in self.events:
+            if event.category is not TensorCategory.COMM_BUFFER:
+                continue
+            if event.is_alloc():
+                live += event.size
+                peak = max(peak, live)
+            else:
+                live -= event.size
+        return peak
 
     def end_time(self) -> int:
         return self.events[-1].time + 1 if self.events else 0

@@ -41,7 +41,12 @@ from repro.workloads.training import TrainingConfig
 #: Version 3: expert-parallel rank asymmetry -- per-EP-rank router slices,
 #: the exact balanced split at ``moe_imbalance == 0``, and the EP rank in the
 #: trace metadata and fingerprint.
-TRACEGEN_VERSION = 3
+#: Version 4: expert-parallel all-to-all communication transients (the
+#: ``moe_comm_factor`` dispatch/combine staging buffers), execution-keyed
+#: router draws (the gating decision of one (layer, microbatch) execution no
+#: longer depends on the rank's schedule order), and ``moe_comm_factor`` in
+#: the trace metadata.
+TRACEGEN_VERSION = 4
 
 
 def config_fingerprint(
@@ -189,6 +194,7 @@ class TraceGenerator:
             scale=self.scale,
             rank=self.rank,
             ep_rank=self.ep_rank,
+            moe_comm_factor=self.config.moe_comm_factor,
             tracegen_version=TRACEGEN_VERSION,
         )
         module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
@@ -220,9 +226,9 @@ class TraceGenerator:
         )
 
     def _reset(self) -> None:
-        # Re-seed the expert router so repeated generate() calls on one
-        # generator emit byte-identical streams (the router draws from its RNG
-        # sequentially and would otherwise continue where the last run ended).
+        # Fresh router per generate() call: draws are keyed by execution (so
+        # repeated runs are byte-identical regardless), but the per-iteration
+        # memo of gating decisions must not leak across generations.
         self._router: ExpertRouter | None = self._make_router()
         self._events: list[TraceEvent] = []
         self._phases: list[Phase] = []
@@ -363,6 +369,20 @@ class TraceGenerator:
                 continue
             self._alloc(spec, phase)
 
+    def _global_layer(self, spec: PhaseSpec, layer: int) -> int:
+        """Model-global layer id of one (chunk, layer) execution on this rank.
+
+        The router keys its gating draw on this id, so any two executions
+        holding *different* model layers -- other chunks of this stage, and
+        the layer slices of other pipeline stages (Megatron interleaving
+        assigns chunk ``c`` of stage ``r`` the ``(c * pp + r)``-th layer
+        block) -- route independently, while every EP rank of one stage
+        (same schedule geometry, same ids) derives the identical draw for
+        the identical execution.
+        """
+        pipeline = self.config.parallelism.pipeline_parallel
+        return (spec.chunk * pipeline + self.rank) * self.layers_per_chunk + layer
+
     def _dense_saved_specs(self) -> list[TensorSpec]:
         """Saved activations of the non-expert part of one layer."""
         specs = self.memory.saved_activation_tensors()
@@ -410,11 +430,28 @@ class TraceGenerator:
         # MoE expert activations: dynamic sizes decided by token routing.
         if self.config.model.is_moe and self._router is not None:
             routing = self._router.route(
-                self.memory.tokens, layer=layer, microbatch=spec.microbatch
+                self.memory.tokens,
+                layer=self._global_layer(spec, layer),
+                microbatch=spec.microbatch,
             )
             self._expert_routing[(spec.microbatch, spec.chunk, layer)] = routing
             expert_module = f"{module}.experts"
             grad_module = f"{module}.experts.grad"
+            # All-to-all dispatch: tokens travel to their experts before the
+            # expert FFN runs, so the staging buffers allocate first and stay
+            # live across it (their skewed transient frees land layers later,
+            # overlapping the expert activations -- which is what makes peak
+            # memory imbalance-sensitive through communication, not just
+            # through the expert activations themselves).
+            for comm_spec in self.memory.moe_dispatch_tensors(sum(routing)):
+                transients.append(
+                    self._alloc(
+                        comm_spec,
+                        phase,
+                        module=expert_module,
+                        dyn=comm_spec.tag == "a2a_dispatch_recv",
+                    )
+                )
             for expert_index, expert_tokens in enumerate(routing):
                 for expert_spec in self.memory.expert_tensors(expert_index, expert_tokens):
                     if self.config.recompute or self.config.offload_activations:
@@ -476,6 +513,24 @@ class TraceGenerator:
         module = f"mb{spec.microbatch}.c{spec.chunk}.layer{layer}"
         grad_module = f"{module}.experts.grad"
         transients: list[_LiveTensor] = []
+
+        # All-to-all combine: the backward-facing mirror of the forward
+        # dispatch.  Expert output gradients of the locally-processed tokens
+        # are sent back to their origin ranks and this rank's share returns;
+        # the staging buffers allocate before the expert gradient work and
+        # overlap it through the skewed transient frees, exactly like the
+        # dispatch pair overlaps the forward expert FFN.
+        if self.config.model.is_moe:
+            routing = self._expert_routing.get((spec.microbatch, spec.chunk, layer), [])
+            for comm_spec in self.memory.moe_combine_tensors(sum(routing)):
+                transients.append(
+                    self._alloc(
+                        comm_spec,
+                        phase,
+                        module=grad_module,
+                        dyn=comm_spec.tag == "a2a_combine_send",
+                    )
+                )
 
         # ZeRO-3 re-gathers parameters for the backward pass.
         if self.config.zero_stage >= 3:

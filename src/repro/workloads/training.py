@@ -35,6 +35,15 @@ class TrainingConfig:
     #: random per-expert preference so EP ranks diverge at runtime.  Ignored
     #: for dense models.
     moe_imbalance: float = 0.3
+    #: Scale of the expert-parallel all-to-all communication transients: the
+    #: dispatch (forward) and combine (backward) send/recv buffers are sized
+    #: ``moe_comm_factor * routed_tokens * hidden_size`` activation bytes and
+    #: live across the expert FFN of their layer.  0 (the default) disables
+    #: the transients entirely -- the event stream is byte-identical to the
+    #: same config's comm-free trace (the golden-fixture baseline); 1 models
+    #: unfused all-to-all staging buffers holding one full copy of the routed
+    #: activations per direction.  Ignored for dense models.
+    moe_comm_factor: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -48,6 +57,10 @@ class TrainingConfig:
             raise ValueError(f"unknown framework {self.framework!r}")
         if not 0.0 <= self.moe_imbalance <= 1.0:
             raise ValueError(f"moe_imbalance must be in [0, 1], got {self.moe_imbalance}")
+        if self.moe_comm_factor < 0.0:
+            raise ValueError(
+                f"moe_comm_factor must be >= 0, got {self.moe_comm_factor}"
+            )
 
     @property
     def sequence_length(self) -> int:
@@ -96,6 +109,8 @@ class TrainingConfig:
             bits.append("offload")
         if self.zero_stage:
             bits.append(f"zero{self.zero_stage}")
+        if self.model.is_moe and self.moe_comm_factor:
+            bits.append(f"comm={self.moe_comm_factor:g}")
         if self.label:
             bits.append(f"[{self.label}]")
         return " ".join(bits)

@@ -27,11 +27,25 @@ def recompute_trace(tiny_dense_config):
     return TraceGenerator(tiny_dense_config.with_(recompute=True), seed=1).generate()
 
 
+@pytest.fixture(scope="module")
+def comm_heavy_config(tiny_moe_config):
+    """The MoE config with a skewed router and full all-to-all transients."""
+    return tiny_moe_config.with_(
+        moe_imbalance=0.6, moe_comm_factor=1.0, label="test-moe-comm"
+    )
+
+
+@pytest.fixture(scope="module")
+def comm_heavy_trace(comm_heavy_config):
+    """An EP rank 1 trace dominated by dispatch/combine staging buffers."""
+    return TraceGenerator(comm_heavy_config, seed=1, ep_rank=1).generate()
+
+
 def _trace_for(name: str, request):
     return request.getfixturevalue(name)
 
 
-TRACE_FIXTURES = ["dense_trace", "moe_trace", "recompute_trace"]
+TRACE_FIXTURES = ["dense_trace", "moe_trace", "recompute_trace", "comm_heavy_trace"]
 
 
 @pytest.mark.parametrize("trace_name", TRACE_FIXTURES)
@@ -73,6 +87,62 @@ class TestSuiteIncludingSTAlloc:
         for name, run in runs.items():
             reserved = run.replay.metrics.peak_reserved_bytes
             assert reserved >= peaks[name], f"{name} reserved less than allocated"
+
+
+# ---------------------------------------------------------------------- #
+# Comm-heavy traces: identical OOM verdicts and peak agreement everywhere
+# ---------------------------------------------------------------------- #
+class TestCommHeavyDifferential:
+    """All-to-all transients must not make any allocator diverge.
+
+    The dispatch/combine staging buffers are ordinary trace events, so the
+    live-bytes curve stays allocator-independent: every registered allocator
+    plus the runner's STAlloc variants must agree on the peak, and on the
+    OOM verdict both when the device fits the trace and when it cannot.
+    """
+
+    def test_full_lineup_agrees_on_comm_heavy_peak(self, comm_heavy_config):
+        runs = run_workload_suite(
+            comm_heavy_config, all_known_allocators(), device_name="A800-80GB", ep_rank=1
+        )
+        peaks = {name: run.replay.metrics.peak_allocated_bytes for name, run in runs.items()}
+        assert len(set(peaks.values())) == 1, f"lineup disagrees on peak_allocated: {peaks}"
+        comm_peaks = {name: run.comm_peak_bytes for name, run in runs.items()}
+        assert len(set(comm_peaks.values())) == 1, comm_peaks
+        assert next(iter(comm_peaks.values())) > 0
+
+    def test_identical_oom_verdicts_on_both_sides_of_the_peak(self, comm_heavy_config, request):
+        from repro.gpu.errors import OutOfMemoryError
+        from repro.simulator.runner import run_workload
+
+        trace = request.getfixturevalue("comm_heavy_trace")
+        peak = trace.peak_allocated_bytes()
+
+        def verdict(name: str, capacity_bytes: int) -> bool:
+            # STAlloc reserves its static pool during the offline pipeline, so
+            # an undersized device can fail at planning time already -- the
+            # job would not have started, which is the same OOM verdict.
+            try:
+                run = run_workload(
+                    comm_heavy_config,
+                    name,
+                    device_name="A800-80GB",
+                    device_capacity_gib=capacity_bytes / GIB,
+                    seed=1,  # replay the same trace the capacities were sized from
+                    ep_rank=1,
+                )
+            except OutOfMemoryError:
+                return False
+            return run.success
+
+        # A device that cannot hold the live bytes fails every allocator; a
+        # generously oversized one fails none.  (Between the two, reservation
+        # strategies legitimately differ -- that is the fragmentation story.)
+        verdicts = {
+            name: (verdict(name, (peak - 1) // 2), verdict(name, 4 * peak))
+            for name in all_known_allocators()
+        }
+        assert set(verdicts.values()) == {(False, True)}, verdicts
 
 
 # ---------------------------------------------------------------------- #

@@ -140,6 +140,93 @@ class TestRouterProperties:
 
 
 # ---------------------------------------------------------------------- #
+# Execution-keyed gating draws (the call-order regression)
+# ---------------------------------------------------------------------- #
+class TestExecutionKeyedDraws:
+    """The gating decision of one (layer, microbatch) execution must not
+    depend on the order a rank's schedule visits executions.
+
+    The router used to draw from one sequential RNG stream, so two ranks
+    walking their 1F1B schedules in different orders (warm-up depth varies by
+    pipeline stage) would hand the *same* layer execution *different* global
+    draws -- breaking token conservation and giving the dispatch/combine
+    transients inconsistent sizes across the EP group.
+    """
+
+    EXECUTIONS = [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+
+    def _draws(self, order):
+        router = ExpertRouter(
+            num_experts=8, num_local_experts=8, top_k=2, seed=11, imbalance=0.7
+        )
+        return {
+            (layer, mb): router.route(512, layer=layer, microbatch=mb)
+            for layer, mb in order
+        }
+
+    def test_draws_are_call_order_independent(self):
+        forward_order = self._draws(self.EXECUTIONS)
+        reversed_order = self._draws(list(reversed(self.EXECUTIONS)))
+        assert forward_order == reversed_order
+
+    def test_repeated_queries_memoised_within_one_iteration(self):
+        """Asking for one execution twice (forward + recomputed backward, or
+        dispatch + combine sizing) returns the identical counts."""
+        router = ExpertRouter(
+            num_experts=8, num_local_experts=2, top_k=2, seed=5, imbalance=0.7, ep_rank=1
+        )
+        first = router.route(512, layer=3, microbatch=1)
+        assert router.route(512, layer=3, microbatch=1) == first
+        assert router.route_global(512, layer=3, microbatch=1)[2:4] == first
+
+    def test_distinct_executions_get_distinct_draws(self):
+        router = ExpertRouter(
+            num_experts=8, num_local_experts=8, top_k=2, seed=11, imbalance=0.7
+        )
+        draws = {
+            (layer, mb): tuple(router.route(512, layer=layer, microbatch=mb))
+            for layer, mb in self.EXECUTIONS
+        }
+        assert len(set(draws.values())) > 1
+
+    def test_rejects_negative_execution_keys(self):
+        router = ExpertRouter(num_experts=8, num_local_experts=2, top_k=2, imbalance=0.5)
+        with pytest.raises(ValueError, match="layer and microbatch"):
+            router.route(512, layer=-1)
+        with pytest.raises(ValueError, match="layer and microbatch"):
+            router.route(512, microbatch=-2)
+
+    def test_trace_dispatch_sizes_consistent_across_pipeline_schedules(self):
+        """Cache-collision regression at the trace level: the two pipeline
+        stages execute their micro-batches in different 1F1B orders, yet the
+        EP group of *each* stage must agree on every execution's dispatch
+        sizes (slices of one global draw, summing to the routed load)."""
+        config = _moe_config(imbalance=0.8, pipeline=2, expert=4).with_(
+            moe_comm_factor=1.0
+        )
+        per_token = config.model.hidden_size * 2
+        routed = config.micro_batch_size * config.model.seq_length * config.model.moe_top_k
+        for pp_rank in range(2):
+            recv_sizes = []
+            for ep_rank in range(4):
+                trace = TraceGenerator(
+                    config, seed=2, rank=pp_rank, ep_rank=ep_rank
+                ).generate()
+                recv_sizes.append(
+                    {
+                        (e.phase.microbatch, e.module): e.size
+                        for e in trace.events
+                        if e.is_alloc() and e.tag == "a2a_dispatch_recv"
+                    }
+                )
+            executions = set().union(*(set(sizes) for sizes in recv_sizes))
+            assert executions
+            for execution in executions:
+                total = sum(sizes.get(execution, 0) for sizes in recv_sizes)
+                assert total == routed * per_token, (pp_rank, execution)
+
+
+# ---------------------------------------------------------------------- #
 # Rank coordinate helpers
 # ---------------------------------------------------------------------- #
 class TestRankCoords:
