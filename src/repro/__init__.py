@@ -13,6 +13,8 @@ Efficiency in Large-Scale Model Training with Spatio-Temporal Planning"*
   synthesizer, and hybrid static/dynamic runtime allocator.
 * :mod:`repro.simulator` -- trace replay, memory metrics, and an analytical
   throughput model.
+* :mod:`repro.timeline` -- discrete-event iteration-time simulation over the
+  per-rank schedules, with routed-load all-to-all communication costs.
 * :mod:`repro.experiments` -- harnesses regenerating every table and figure of
   the paper's evaluation.
 """

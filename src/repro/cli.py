@@ -10,6 +10,8 @@ Usage::
     stalloc-repro sweep job-smoke --compare baseline.json   # CI regression gate
     stalloc-repro sweep --compare old.json new.json         # diff two saved results
     stalloc-repro sweep ep-comm-smoke --jobs 2              # all-to-all transients on/off
+    stalloc-repro sweep timeline-smoke --jobs 2             # discrete-event timing vs comm factor
+    stalloc-repro sweep quick-grid --timing analytical      # closed-form timing fallback
     stalloc-repro sweep ep-smoke --cache-max-gib 1          # cap the cache inline
     stalloc-repro sweep --list
     stalloc-repro cache prune --max-gib 2
@@ -100,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-throughput",
         action="store_true",
         help="deprecated no-op: throughput columns are part of the default rows now",
+    )
+    sweep_parser.add_argument(
+        "--timing",
+        choices=["timeline", "analytical"],
+        default=None,
+        help=(
+            "timing backend for the throughput columns: the discrete-event "
+            "timeline simulator (per-rank schedules, routed-load all-to-all "
+            "costs) or the closed-form analytical model (default: what the "
+            "spec selects, usually timeline)"
+        ),
     )
     sweep_parser.add_argument(
         "--max-rows",
@@ -235,6 +248,8 @@ def _cmd_sweep(args) -> int:
     except (ValueError, FileNotFoundError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.timing is not None:
+        spec.timing = args.timing
     baseline = None
     if args.compare is not None:
         try:

@@ -19,7 +19,10 @@ from repro.experiments.common import (
     PRESETS,
     register_experiment,
 )
+from repro.gpu.specs import GPU_SPECS
 from repro.simulator.runner import run_job
+from repro.simulator.throughput import ThroughputModel
+from repro.timeline import simulate_timeline
 from repro.workloads.parallelism import rank_label
 
 
@@ -184,5 +187,64 @@ def run_comm_table(*, quick: bool = False) -> ExperimentResult:
             "comm_delta_gib is the peak growth over the comm-free trace of the same "
             "imbalance: the provisioning headroom the all-to-all staging buffers "
             "demand, which widens as routing skews toward hot experts."
+        ),
+    )
+
+
+@register_experiment("timeline_table")
+def run_timeline_table(*, quick: bool = False) -> ExperimentResult:
+    """Discrete-event iteration time vs. router imbalance and comm factor.
+
+    The memory tables above show *where the bytes go*; this table shows *where
+    the time goes*.  The timeline simulator walks every (pp, ep) rank's real
+    schedule: pipeline bubbles come out of the forward/backward send-recv
+    dependencies and every MoE layer execution runs a synchronising all-to-all
+    whose duration follows the maximum routed load across the EP group -- the
+    same router draws that size the trace's COMM_BUFFER transients.  Imbalance
+    therefore costs time twice, through hot-expert compute and through the
+    collectives everyone must wait for, and the slowdown over the closed-form
+    analytical estimate quantifies what the closed form cannot see.
+    """
+    workload = A800_WORKLOADS["qwen1.5-moe-a2.7b"]
+    gpu = GPU_SPECS[workload.device_name]
+    scale = 0.25 if quick else 0.5
+    imbalances = [0.0, 0.6] if quick else [0.0, 0.3, 0.6]
+    comm_factors = [0.0, 1.0]
+    rows = []
+    for imbalance in imbalances:
+        for comm_factor in comm_factors:
+            config = workload.preset("Naive", micro_batch_size=1 if quick else None).with_(
+                moe_imbalance=imbalance,
+                moe_comm_factor=comm_factor,
+                num_microbatches=4,
+            )
+            timeline = simulate_timeline(config, gpu=gpu, scale=scale)
+            analytical = ThroughputModel(gpu).estimate(config)
+            rows.append(
+                {
+                    "imbalance": imbalance,
+                    "comm_factor": comm_factor,
+                    "iteration_ms": round(timeline.iteration_seconds * 1e3, 3),
+                    "comm_ms": round(timeline.comm_seconds * 1e3, 3),
+                    "stall_ms": round(timeline.stall_seconds * 1e3, 3),
+                    "bubble_pct": round(100 * timeline.bubble_fraction, 2),
+                    "mfu_pct": round(100 * timeline.mfu, 2),
+                    "binding_rank": rank_label(timeline.binding_rank),
+                    "analytical_ms": round(analytical.iteration_seconds * 1e3, 3),
+                    "slowdown_vs_analytical": round(
+                        timeline.iteration_seconds / analytical.iteration_seconds, 4
+                    ),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="timeline_table",
+        title="Timeline simulation: iteration time vs. router imbalance and comm factor",
+        rows=rows,
+        notes=(
+            "slowdown_vs_analytical is the simulated iteration over the closed-form "
+            "estimate: ~1.0 for a balanced comm-free job (the differential property "
+            "the tests pin), growing with imbalance (hot-expert stragglers at every "
+            "synchronising all-to-all) and with the comm factor (collective time on "
+            "the critical path)."
         ),
     )

@@ -18,9 +18,11 @@ from repro.gpu.device import (
     DeviceStats,
     PhysicalAllocation,
     a800_80gb,
+    device_from_spec,
     h200_141gb,
     mi210_64gb,
 )
+from repro.gpu.specs import GPU_SPECS, GPUSpec, get_gpu
 from repro.gpu.errors import (
     DeviceError,
     DoubleFreeError,
@@ -39,8 +41,12 @@ __all__ = [
     "DeviceStats",
     "PhysicalAllocation",
     "a800_80gb",
+    "device_from_spec",
     "h200_141gb",
     "mi210_64gb",
+    "GPUSpec",
+    "GPU_SPECS",
+    "get_gpu",
     "DeviceError",
     "OutOfMemoryError",
     "DoubleFreeError",

@@ -182,18 +182,29 @@ class Device:
 
 
 # ---------------------------------------------------------------------- #
-# Testbed presets (capacities from the paper's evaluation section)
+# Testbed presets (capacities from the shared specs in repro.gpu.specs, the
+# single source of truth for per-device constants)
 # ---------------------------------------------------------------------- #
+def device_from_spec(name: str, reserved_overhead: int = 0) -> Device:
+    """Build a Device whose capacity comes from :data:`repro.gpu.specs.GPU_SPECS`."""
+    from repro.gpu.specs import get_gpu
+
+    spec = get_gpu(name)
+    return Device(
+        name=spec.name, capacity=spec.memory_gib * GIB, reserved_overhead=reserved_overhead
+    )
+
+
 def a800_80gb(reserved_overhead: int = 4 * GIB) -> Device:
     """NVIDIA A800-80GB as used on the paper's first testbed."""
-    return Device(name="A800-80GB", capacity=80 * GIB, reserved_overhead=reserved_overhead)
+    return device_from_spec("A800-80GB", reserved_overhead)
 
 
 def h200_141gb(reserved_overhead: int = 5 * GIB) -> Device:
     """NVIDIA H200-141GB as used for the scalability study."""
-    return Device(name="H200-141GB", capacity=141 * GIB, reserved_overhead=reserved_overhead)
+    return device_from_spec("H200-141GB", reserved_overhead)
 
 
 def mi210_64gb(reserved_overhead: int = 4 * GIB) -> Device:
     """AMD MI210-64GB as used on the AMD testbed."""
-    return Device(name="MI210-64GB", capacity=64 * GIB, reserved_overhead=reserved_overhead)
+    return device_from_spec("MI210-64GB", reserved_overhead)

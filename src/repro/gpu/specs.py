@@ -1,0 +1,62 @@
+"""Canonical accelerator specifications (the single source of truth).
+
+Every layer that needs to know what a device *is* -- the memory capacity the
+:class:`~repro.gpu.device.Device` presets enforce, the compute ceiling the
+analytical :class:`~repro.simulator.throughput.ThroughputModel` divides by,
+and the all-to-all bandwidth the :mod:`repro.timeline` simulator charges for
+expert-parallel collectives -- reads it from :data:`GPU_SPECS` here, so a
+testbed device cannot drift apart between the memory and timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Compute and memory capability of one accelerator."""
+
+    name: str
+    peak_tflops: float       # dense BF16 peak
+    achievable_mfu: float    # model FLOPs utilisation of a well-tuned run
+    memory_gib: int
+    #: Effective per-GPU all-to-all bandwidth (GB/s) for expert-parallel
+    #: dispatch/combine collectives -- the NVLink/IB mix a well-tuned MoE job
+    #: achieves, not the link peak.  Used by the timeline simulator to turn
+    #: routed bytes into communication seconds.
+    a2a_gbytes_per_sec: float = 25.0
+
+    @property
+    def achievable_flops(self) -> float:
+        return self.peak_tflops * 1e12 * self.achievable_mfu
+
+
+#: The paper's testbed accelerators, keyed by the device name used throughout
+#: the experiments and sweep specs.
+GPU_SPECS: dict[str, GPUSpec] = {
+    "A800-80GB": GPUSpec(
+        "A800-80GB", peak_tflops=312.0, achievable_mfu=0.52, memory_gib=80,
+        a2a_gbytes_per_sec=50.0,
+    ),
+    "H200-141GB": GPUSpec(
+        "H200-141GB", peak_tflops=989.0, achievable_mfu=0.47, memory_gib=141,
+        a2a_gbytes_per_sec=112.0,
+    ),
+    "MI210-64GB": GPUSpec(
+        "MI210-64GB", peak_tflops=181.0, achievable_mfu=0.45, memory_gib=64,
+        a2a_gbytes_per_sec=40.0,
+    ),
+}
+
+
+def get_gpu(name_or_spec: str | GPUSpec) -> GPUSpec:
+    """Resolve a device name (or pass an explicit spec through) to a GPUSpec."""
+    if isinstance(name_or_spec, GPUSpec):
+        return name_or_spec
+    try:
+        return GPU_SPECS[name_or_spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown GPU {name_or_spec!r}; available: {', '.join(sorted(GPU_SPECS))}"
+        ) from None

@@ -1,15 +1,25 @@
-"""Trace replay, memory metrics, and the analytical throughput model."""
+"""Trace replay, memory metrics, and the timing models (timeline + analytical)."""
 
 from repro.simulator.metrics import MemoryMetrics
 from repro.simulator.replay import ReplayResult, replay_trace
-from repro.simulator.runner import WorkloadRun, run_workload, run_workload_suite
+from repro.simulator.runner import (
+    VALID_TIMINGS,
+    JobRun,
+    WorkloadRun,
+    run_job,
+    run_workload,
+    run_workload_suite,
+)
 from repro.simulator.throughput import GPUSpec, ThroughputModel, GPU_SPECS
 
 __all__ = [
     "MemoryMetrics",
     "ReplayResult",
     "replay_trace",
+    "VALID_TIMINGS",
+    "JobRun",
     "WorkloadRun",
+    "run_job",
     "run_workload",
     "run_workload_suite",
     "GPUSpec",

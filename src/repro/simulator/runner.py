@@ -42,6 +42,51 @@ STALLOC = "stalloc"
 #: STAlloc with the dynamic-reuse path disabled (the §9.4 ablation).
 STALLOC_NO_REUSE = "stalloc_no_reuse"
 
+#: Accepted timing backends: the discrete-event simulator walking the real
+#: per-rank schedules (``"timeline"``, the job-level default) or the legacy
+#: closed-form model (``"analytical"``, kept as a fallback and cross-check).
+VALID_TIMINGS = ("timeline", "analytical")
+
+
+def validate_timing(timing: str) -> str:
+    """Reject unknown timing backends (shared with sweep-spec validation)."""
+    if timing not in VALID_TIMINGS:
+        raise ValueError(
+            f"timing must be one of {', '.join(VALID_TIMINGS)}, got {timing!r}"
+        )
+    return timing
+
+
+def _estimate_throughput(
+    config: TrainingConfig,
+    gpu,
+    timing: str,
+    *,
+    allocator_overhead_seconds: float,
+    seed: int = 0,
+    scale: float = 1.0,
+):
+    """One iteration's timing estimate from the selected backend.
+
+    Returns ``(estimate, timeline)`` where ``timeline`` is the full
+    :class:`~repro.timeline.TimelineResult` behind a timeline estimate and
+    None for the analytical backend.
+    """
+    if timing == "timeline":
+        # Imported lazily: repro.timeline consumes this package's throughput
+        # shapes, so a module-level import here would be circular.
+        from repro.timeline import simulate_timeline
+
+        timeline = simulate_timeline(config, gpu=gpu, seed=seed, scale=scale)
+        return (
+            timeline.to_estimate(allocator_overhead_seconds=allocator_overhead_seconds),
+            timeline,
+        )
+    estimate = ThroughputModel(gpu).estimate(
+        config, allocator_overhead_seconds=allocator_overhead_seconds
+    )
+    return estimate, None
+
 
 @dataclass
 class WorkloadRun:
@@ -81,6 +126,25 @@ class WorkloadRun:
     def tokens_per_second(self) -> float | None:
         return self.throughput.tokens_per_second if self.throughput is not None else None
 
+    @property
+    def iteration_seconds(self) -> float | None:
+        """Modelled iteration time (excluding allocator overhead)."""
+        return self.throughput.iteration_seconds if self.throughput is not None else None
+
+    @property
+    def comm_seconds(self) -> float | None:
+        """All-to-all seconds of the most communication-bound rank (0 for the
+        analytical backend)."""
+        return self.throughput.comm_seconds if self.throughput is not None else None
+
+    @property
+    def bubble_fraction(self) -> float | None:
+        return self.throughput.bubble_fraction if self.throughput is not None else None
+
+    @property
+    def mfu(self) -> float | None:
+        return self.throughput.mfu if self.throughput is not None else None
+
     def as_dict(self) -> dict:
         data = {
             "config": self.config.describe(),
@@ -91,10 +155,7 @@ class WorkloadRun:
         }
         data.update(self.replay.as_dict())
         if self.throughput is not None:
-            # Full precision on purpose: rounding is display-only (see
-            # repro.sweep.results._fmt), so result diffs compare real values.
-            data["tflops_per_gpu"] = self.throughput.tflops_per_gpu
-            data["tokens_per_second"] = self.throughput.tokens_per_second
+            data.update(self.throughput.row_columns())
         return data
 
 
@@ -290,6 +351,7 @@ def run_workload(
     rank: int = 0,
     ep_rank: int = 0,
     with_throughput: bool = False,
+    timing: str = "analytical",
     trace: Trace | None = None,
     stalloc_overrides: dict | None = None,
     cache=None,
@@ -301,12 +363,17 @@ def run_workload(
     ``ep_rank`` select the (pipeline, expert-parallel) rank coordinate being
     simulated (rank (0, 0) by default, matching the single-rank behaviour of
     earlier releases; ``rank`` also accepts a ``(pp, ep)`` pair directly).
+    ``timing`` selects the backend behind ``with_throughput``: the cheap
+    closed form by default here (this is the single-rank path; the timeline
+    simulates the whole job, which :func:`run_job` amortises across
+    allocators), or ``"timeline"`` for the discrete-event simulator.
     ``stalloc_overrides`` optionally overrides STAllocConfig knobs for the
     STAlloc variants (ablation sweeps); other allocators ignore it.  ``cache``
     optionally routes trace/plan lookups through an explicit
     :class:`repro.sweep.cache.SweepCache` instead of the installed persistent
     cache.
     """
+    validate_timing(timing)
     if not isinstance(rank, int):
         rank, ep_rank = normalize_rank(rank)
     if trace is None:
@@ -322,9 +389,13 @@ def run_workload(
     replay = replay_trace(trace, allocator)
     throughput = None
     if with_throughput and gpu is not None:
-        model = ThroughputModel(gpu)
-        throughput = model.estimate(
-            config, allocator_overhead_seconds=replay.overhead_seconds
+        throughput, _ = _estimate_throughput(
+            config,
+            gpu,
+            timing,
+            allocator_overhead_seconds=replay.overhead_seconds,
+            seed=seed,
+            scale=scale,
         )
     return WorkloadRun(
         config=config,
@@ -364,18 +435,21 @@ def run_workload_suite(
     rank: int = 0,
     ep_rank: int = 0,
     with_throughput: bool = False,
+    timing: str = "analytical",
     jobs: int | None = None,
 ) -> dict[str, WorkloadRun]:
     """Run one configuration through several allocators, sharing the trace.
 
     ``rank``/``ep_rank`` select the simulated rank coordinate (shared by every
-    allocator of the suite).  ``jobs`` sets the number of worker processes the
+    allocator of the suite).  ``timing`` selects the throughput backend (see
+    :func:`run_workload`).  ``jobs`` sets the number of worker processes the
     allocators fan out over; ``None`` uses the module default (see
     :func:`set_default_jobs`, configured through
     ``repro.experiments.common.configure_execution`` / the CLI) and ``1``
     keeps the serial in-process path.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
+    validate_timing(timing)
     if not isinstance(rank, int):
         rank, ep_rank = normalize_rank(rank)
     kwargs = dict(
@@ -386,6 +460,7 @@ def run_workload_suite(
         rank=rank,
         ep_rank=ep_rank,
         with_throughput=with_throughput,
+        timing=timing,
     )
     if jobs > 1 and len(allocator_names) > 1:
         # Generate the trace once up front.  With a persistent cache the
@@ -601,6 +676,10 @@ class JobRun:
     class_runs: list[WorkloadRun]
     throughput: ThroughputEstimate | None = None
     class_capacities: list[float | None] = field(default_factory=list)
+    #: Full discrete-event simulation behind the throughput estimate when the
+    #: timeline backend produced it (None for the analytical backend); holds
+    #: the per-rank event streams for experiments, digests and debugging.
+    timeline: object = None
 
     @property
     def ranks(self) -> list:
@@ -713,6 +792,25 @@ class JobRun:
     def tokens_per_second(self) -> float | None:
         return self.throughput.tokens_per_second if self.throughput is not None else None
 
+    @property
+    def iteration_seconds(self) -> float | None:
+        """Modelled iteration time of the job (excluding allocator overhead)."""
+        return self.throughput.iteration_seconds if self.throughput is not None else None
+
+    @property
+    def comm_seconds(self) -> float | None:
+        """All-to-all seconds of the most communication-bound rank."""
+        return self.throughput.comm_seconds if self.throughput is not None else None
+
+    @property
+    def bubble_fraction(self) -> float | None:
+        """Fraction of the iteration the busiest rank is not computing."""
+        return self.throughput.bubble_fraction if self.throughput is not None else None
+
+    @property
+    def mfu(self) -> float | None:
+        return self.throughput.mfu if self.throughput is not None else None
+
     def as_dict(self) -> dict:
         data = {
             "config": self.config.describe(),
@@ -752,8 +850,7 @@ class JobRun:
                 for rank in self.oom_ranks
             ]
         if self.throughput is not None:
-            data["tflops_per_gpu"] = self.throughput.tflops_per_gpu
-            data["tokens_per_second"] = self.throughput.tokens_per_second
+            data.update(self.throughput.row_columns())
         return data
 
 
@@ -776,6 +873,7 @@ def run_job(
     seed: int = 0,
     scale: float = 1.0,
     with_throughput: bool = True,
+    timing: str = "timeline",
     stalloc_overrides: dict | None = None,
     cache=None,
     jobs: int | None = None,
@@ -790,6 +888,13 @@ def run_job(
     worker-pool machinery.  ``traces`` optionally supplies pre-generated
     traces by rank (the sweep engine ships shared traces to workers this way).
 
+    ``timing`` selects the throughput backend: ``"timeline"`` (the default)
+    runs the discrete-event simulator over every (pp, ep) rank's schedule --
+    pipeline bubbles and all-to-all straggler stalls emerge from the same
+    router draws that size the trace's communication transients -- while
+    ``"analytical"`` keeps the legacy closed-form
+    :class:`~repro.simulator.throughput.ThroughputModel` estimate.
+
     ``device_memory_by_rank`` optionally assigns heterogeneous device budgets
     (GiB) to individual ranks -- keys are pipeline ranks (``2``/``"2"``,
     applying to every EP coordinate of the stage) or exact coordinates
@@ -800,6 +905,7 @@ def run_job(
     budget rather than the raw peak-memory rank.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
+    validate_timing(timing)
     capacity_map = _normalize_capacity_map(device_memory_by_rank, config)
     classes = resolve_job_ranks(config, ranks)
     if any("." in label for label in capacity_map):
@@ -861,14 +967,20 @@ def run_job(
         capacity if capacity is not None else default_capacity for capacity in capacities
     ]
     throughput = None
+    timeline = None
     if with_throughput:
         gpu = GPU_SPECS.get(device_name)
         if gpu is not None:
             # The pipeline advances at the pace of its slowest rank, so the
             # job-level estimate charges the worst per-rank allocator overhead.
             overhead = max(run.replay.overhead_seconds for run in class_runs)
-            throughput = ThroughputModel(gpu).estimate(
-                config, allocator_overhead_seconds=overhead
+            throughput, timeline = _estimate_throughput(
+                config,
+                gpu,
+                timing,
+                allocator_overhead_seconds=overhead,
+                seed=seed,
+                scale=scale,
             )
     return JobRun(
         config=config,
@@ -878,6 +990,7 @@ def run_job(
         class_runs=class_runs,
         throughput=throughput,
         class_capacities=resolved_capacities,
+        timeline=timeline,
     )
 
 

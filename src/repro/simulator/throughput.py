@@ -20,39 +20,40 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+# Re-exported for backwards compatibility: the accelerator specs moved to
+# repro.gpu.specs so the memory model (Device presets) and the timing models
+# share one definition per device.
+from repro.gpu.specs import GPU_SPECS, GPUSpec  # noqa: F401
 from repro.workloads.training import TrainingConfig
-
-
-@dataclass(frozen=True)
-class GPUSpec:
-    """Compute capability of one accelerator."""
-
-    name: str
-    peak_tflops: float       # dense BF16 peak
-    achievable_mfu: float    # model FLOPs utilisation of a well-tuned run
-    memory_gib: int
-
-    @property
-    def achievable_flops(self) -> float:
-        return self.peak_tflops * 1e12 * self.achievable_mfu
-
-
-GPU_SPECS: dict[str, GPUSpec] = {
-    "A800-80GB": GPUSpec("A800-80GB", peak_tflops=312.0, achievable_mfu=0.52, memory_gib=80),
-    "H200-141GB": GPUSpec("H200-141GB", peak_tflops=989.0, achievable_mfu=0.47, memory_gib=141),
-    "MI210-64GB": GPUSpec("MI210-64GB", peak_tflops=181.0, achievable_mfu=0.45, memory_gib=64),
-}
 
 
 @dataclass
 class ThroughputEstimate:
-    """Per-iteration timing and the derived per-GPU TFLOPS."""
+    """Per-iteration timing and the derived per-GPU TFLOPS.
+
+    Produced by both timing backends: :class:`ThroughputModel` (closed-form,
+    ``source="analytical"``) and the discrete-event simulator in
+    :mod:`repro.timeline` (``source="timeline"``), so everything downstream
+    (runner aggregation, sweep rows, ``--compare``) consumes one shape.
+    """
 
     iteration_seconds: float
     model_flops_per_iteration: float
     num_gpus: int
     allocator_overhead_seconds: float = 0.0
     tokens_per_iteration: int = 0
+    #: Seconds the binding rank spends in expert-parallel all-to-all
+    #: collectives (0 for the analytical backend, which has no routed load).
+    comm_seconds: float = 0.0
+    #: Fraction of the iteration the busiest rank is not computing -- the
+    #: closed-form pipeline-bubble fraction for the analytical backend, the
+    #: emergent (bubbles + straggler stalls) fraction for the timeline.
+    bubble_fraction: float = 0.0
+    #: Dense peak TFLOPS of the device the estimate was made for (0 when
+    #: unknown; enables the :attr:`mfu` property).
+    peak_tflops: float = 0.0
+    #: Which timing backend produced this estimate.
+    source: str = "analytical"
 
     @property
     def total_seconds(self) -> float:
@@ -74,6 +75,39 @@ class ThroughputEstimate:
         if total_time <= 0:
             return 0.0
         return self.tokens_per_iteration / total_time
+
+    @property
+    def mfu(self) -> float:
+        """Model-FLOPs utilisation: achieved TFLOPS over the device peak.
+
+        Derived from :attr:`tflops_per_gpu`, so it charges the allocator
+        overhead like every other achieved-throughput number here (always
+        exactly ``tflops_per_gpu / peak_tflops``); the overhead-free MFU of
+        the simulation alone is :attr:`repro.timeline.TimelineResult.mfu`.
+        """
+        if self.peak_tflops <= 0:
+            return 0.0
+        return self.tflops_per_gpu / self.peak_tflops
+
+    def row_columns(self) -> dict:
+        """The throughput columns of one result row, in presentation order.
+
+        The single definition consumed by ``WorkloadRun.as_dict``,
+        ``JobRun.as_dict`` and the sweep engine's row builder -- adding a
+        column here is the whole change (plus its
+        ``repro.sweep.compare.METRIC_DIRECTIONS`` entry).  Full precision on
+        purpose: rounding is display-only (``repro.sweep.results._fmt``), so
+        result diffs compare real values.
+        """
+        return {
+            "tflops_per_gpu": self.tflops_per_gpu,
+            "tokens_per_second": self.tokens_per_second,
+            "iteration_seconds": self.iteration_seconds,
+            "comm_seconds": self.comm_seconds,
+            "bubble_fraction": self.bubble_fraction,
+            "mfu": self.mfu,
+            "timing": self.source,
+        }
 
 
 class ThroughputModel:
@@ -167,6 +201,9 @@ class ThroughputModel:
             num_gpus=num_gpus,
             allocator_overhead_seconds=allocator_overhead_seconds,
             tokens_per_iteration=config.tokens_per_iteration,
+            bubble_fraction=bubble,
+            peak_tflops=self.gpu.peak_tflops,
+            source="analytical",
         )
 
     def tflops(self, config: TrainingConfig, *, allocator_overhead_seconds: float = 0.0) -> float:

@@ -23,10 +23,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.stalloc import PLAN_FORMAT_VERSION, STAlloc, STAllocConfig
+from repro.timeline import TIMELINE_VERSION
 from repro.version import __version__
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TRACEGEN_VERSION, TraceGenerator, config_fingerprint
@@ -40,13 +42,22 @@ from repro.workloads.training import TrainingConfig
 #: per-rank device budgets in the point payload.
 #: Version 4: the ``comm_peak_bytes`` column (all-to-all dispatch/combine
 #: transients in the trace) and ``moe_comm_factor`` in the config payload.
-RESULT_FORMAT_VERSION = 4
+#: Version 5: discrete-event timeline timing -- the ``timing`` identity
+#: column, the ``iteration_seconds``/``comm_seconds``/``bubble_fraction``/
+#: ``mfu`` columns, and ``timing`` in the point payload.
+RESULT_FORMAT_VERSION = 5
 
 #: Key under which :meth:`SweepCache.store_result` embeds the writer's result
 #: format version inside each stored row (stripped again on load); lets
 #: :meth:`SweepCache.prune` identify rows written by an older format even
 #: though the file name is an opaque content hash.
 _RESULT_VERSION_KEY = "_result_format_version"
+
+#: Minimum age (seconds) before :meth:`SweepCache.prune` reaps a ``.tmp``
+#: file.  A young temp file is very likely another worker's *in-flight*
+#: atomic write -- deleting it makes that worker's ``os.replace`` fail -- so
+#: only temp files old enough to be abandoned leftovers are removed.
+_TMP_REAP_SECONDS = 60.0
 
 
 @dataclass
@@ -225,10 +236,19 @@ class SweepCache:
     # Sweep-point results
     # ------------------------------------------------------------------ #
     def result_key(self, trace_fingerprint: str, point_payload: dict) -> str:
+        # Timeline rows carry timing columns computed by the discrete-event
+        # simulator; a TIMELINE_VERSION bump (changed event model) must
+        # invalidate them just like TRACEGEN_VERSION -- which rides inside
+        # the trace fingerprint -- invalidates traces.  Analytical rows
+        # never touch the simulator, so they keep their keys across bumps
+        # ("timing" is absent only in pre-v5 payloads, whose keys the format
+        # version already rotated).
+        timeline_row = point_payload.get("timing", "timeline") == "timeline"
         payload = json.dumps(
             {
                 "format_version": RESULT_FORMAT_VERSION,
                 "version": __version__,
+                "timeline_version": TIMELINE_VERSION if timeline_row else None,
                 "trace": trace_fingerprint,
                 "point": point_payload,
             },
@@ -325,6 +345,7 @@ class SweepCache:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         stale_removed = 0
         stale_bytes = 0
+        now = time.time()
         entries: list[tuple[float, int, Path]] = []  # (mtime, size, path)
         for directory in (self.traces_dir, self.plans_dir, self.results_dir):
             for path in directory.glob("*"):
@@ -334,7 +355,16 @@ class SweepCache:
                     stat = path.stat()
                 except OSError:
                     continue
-                if path.suffix == ".tmp" or (sweep_stale and self._is_stale(path)):
+                if path.suffix == ".tmp":
+                    # Likely a concurrent worker's in-flight atomic write:
+                    # reap only once old enough to be an abandoned leftover,
+                    # and never LRU-account it either way.
+                    if now - stat.st_mtime >= _TMP_REAP_SECONDS:
+                        path.unlink(missing_ok=True)
+                        stale_removed += 1
+                        stale_bytes += stat.st_size
+                    continue
+                if sweep_stale and self._is_stale(path):
                     path.unlink(missing_ok=True)
                     stale_removed += 1
                     stale_bytes += stat.st_size

@@ -3,8 +3,8 @@
 Compares the rows of a freshly-executed sweep against a previously saved
 results file -- or, via :func:`compare_files`, two saved results files
 against each other without re-running anything -- point by point.  Points are matched on their identity columns
-(model, config, allocator, seed, scale, device, ranks) rather than on the
-``point`` index, so reordered or extended grids still line up.  A *regression*
+(model, config, allocator, seed, scale, device, ranks, timing) rather than on
+the ``point`` index, so reordered or extended grids still line up.  A *regression*
 is something that makes the new run strictly worse:
 
 * a point that fit before and OOMs now,
@@ -24,8 +24,12 @@ from dataclasses import dataclass, field
 from repro.sweep.results import SweepResult, _fmt
 
 #: Row keys identifying a sweep point across runs (everything that names the
-#: measurement, nothing that is measured).
-IDENTITY_COLUMNS = ("model", "config", "allocator", "seed", "scale", "device", "ranks")
+#: measurement, nothing that is measured).  ``timing`` is identity, not a
+#: metric: an analytical baseline must never be diffed against a timeline
+#: run's numbers -- the backends model different things.
+IDENTITY_COLUMNS = (
+    "model", "config", "allocator", "seed", "scale", "device", "ranks", "timing",
+)
 
 #: Metric columns worth diffing, with the direction in which a change is a
 #: regression: +1 means "bigger is worse", -1 means "smaller is worse",
@@ -39,6 +43,10 @@ METRIC_DIRECTIONS: dict[str, int] = {
     "memory_efficiency_pct": 0,
     "tflops_per_gpu": -1,
     "tokens_per_second": -1,
+    "iteration_seconds": +1,
+    "comm_seconds": +1,
+    "bubble_fraction": +1,
+    "mfu": -1,
     "binding_rank": 0,
 }
 
@@ -62,8 +70,9 @@ class PointComparison:
 
     @property
     def label(self) -> str:
-        model, config, allocator, seed, scale, device, ranks = self.identity
-        bits = [str(model), str(config), str(allocator)]
+        identity = dict(zip(IDENTITY_COLUMNS, self.identity))
+        bits = [str(identity["model"]), str(identity["config"]), str(identity["allocator"])]
+        ranks = identity["ranks"]
         if ranks not in (None, "0"):
             bits.append(f"ranks={ranks}")
         return " ".join(bits)

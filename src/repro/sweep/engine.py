@@ -71,11 +71,12 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
     row = {
         "point": point.index,
         "model": point.config.model.name,
-        "config": point.config.label or point.config.describe(),
+        "config": point.row_label,
         "allocator": point.allocator_label,
         "seed": point.seed,
         "scale": point.scale,
         "device": point.device_name,
+        "timing": point.timing,
         "ranks": _ranks_label(point.ranks),
         "num_ranks": job.num_ranks,
         "unique_ranks": len(job.class_runs),
@@ -95,8 +96,9 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
         "description": point.config.describe(),
     }
     if job.throughput is not None:
-        row["tflops_per_gpu"] = job.throughput.tflops_per_gpu
-        row["tokens_per_second"] = job.throughput.tokens_per_second
+        # "timing" is already in the row's identity block above; the estimate
+        # repeats the identical value (run_job validated they agree).
+        row.update(job.throughput.row_columns())
     if job.heterogeneous_budgets and job.binding_utilization is not None:
         row["binding_utilization"] = job.binding_utilization
     if not job.success:
@@ -118,10 +120,15 @@ def _as_cached_row(row: dict, point: SweepPoint, elapsed: float) -> dict:
 
     The cached row may come from a sweep whose grid ordered this point
     differently, so its ``point`` index (and compute time) must not leak
-    through verbatim.
+    through verbatim.  The ``config`` label is rewritten from the current
+    point too: the *measurement* is shared between a spec-level budget map
+    and the same map swept as a grid axis (their cache payloads are equal on
+    purpose), but their row labels differ (``budget_label`` is display
+    identity, not measurement identity).
     """
     row = dict(row)
     row["point"] = point.index
+    row["config"] = point.row_label
     row["cached"] = True
     row["elapsed_seconds"] = round(elapsed, 4)
     return row
@@ -184,6 +191,7 @@ def execute_point(
         seed=point.seed,
         scale=point.scale,
         with_throughput=True,
+        timing=point.timing,
         stalloc_overrides=dict(point.stalloc_overrides),
         cache=point_cache,
         jobs=1,

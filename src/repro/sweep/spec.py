@@ -34,7 +34,7 @@ from pathlib import Path
 
 from repro.allocators.registry import available_allocators
 from repro.core.stalloc import STAllocConfig
-from repro.simulator.runner import STALLOC, STALLOC_NO_REUSE
+from repro.simulator.runner import STALLOC, STALLOC_NO_REUSE, validate_timing
 from repro.workloads.models import MODEL_REGISTRY, get_model
 from repro.workloads.parallelism import ParallelismConfig, normalize_rank
 from repro.workloads.training import OPTIMIZATION_PRESETS, TrainingConfig, preset_config
@@ -48,8 +48,10 @@ CONFIG_AXES = frozenset(
     f.name for f in dataclass_fields(TrainingConfig)
 ) - {"model", "parallelism", "label"}
 
-#: Grid axes with special handling during expansion.
-SPECIAL_AXES = frozenset({"model", "preset", "seed", "scale"})
+#: Grid axes with special handling during expansion.  ``device_memory_by_rank``
+#: sweeps heterogeneous per-rank budget *maps* (each grid value is one
+#: ``{rank label: GiB}`` mapping, or null for the uniform device).
+SPECIAL_AXES = frozenset({"model", "preset", "seed", "scale", "device_memory_by_rank"})
 
 #: STAlloc ablation knobs accepted in ``stalloc_grid``.
 STALLOC_AXES = frozenset(f.name for f in dataclass_fields(STAllocConfig))
@@ -79,6 +81,22 @@ class SweepPoint:
     #: Heterogeneous per-rank device budgets: ``(rank label, GiB)`` pairs
     #: sorted by label (hashable + picklable); empty means a uniform device.
     device_memory_by_rank: tuple[tuple[str, float], ...] = ()
+    #: Timing backend for the throughput columns: the discrete-event
+    #: ``"timeline"`` simulator (default) or the closed-form ``"analytical"``
+    #: model.
+    timing: str = "timeline"
+    #: Row-label bit for a swept ``device_memory_by_rank`` axis (e.g.
+    #: ``"mem=0:40"``); empty when budgets were not a grid axis.  Kept off
+    #: the config's own label on purpose: the label feeds the trace
+    #: fingerprint, and budgets never change trace content -- only the
+    #: capacity each replay runs against.
+    budget_label: str = ""
+
+    @property
+    def row_label(self) -> str:
+        """The ``config`` column of this point's result row."""
+        bits = [bit for bit in (self.config.label, self.budget_label) if bit]
+        return "/".join(bits) or self.config.describe()
 
     @property
     def allocator_label(self) -> str:
@@ -106,6 +124,7 @@ class SweepPoint:
             "device_memory_by_rank": {
                 label: gib for label, gib in self.device_memory_by_rank
             },
+            "timing": self.timing,
         }
 
 
@@ -137,6 +156,32 @@ def _valid_rank_key(key) -> bool:
     return all(part.isdigit() for part in parts)
 
 
+def _validate_budget_map(budgets, context: str) -> None:
+    """Validate one ``{rank label: GiB}`` device-budget mapping."""
+    if not isinstance(budgets, dict):
+        raise ValueError(f"{context} must map rank labels to GiB, got {budgets!r}")
+    for key, value in budgets.items():
+        if not _valid_rank_key(key):
+            raise ValueError(
+                f"{context} key {key!r} is not a rank (expected an int, '2', or '2.1')"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"{context}[{key!r}] must be a positive GiB value, got {value!r}"
+            )
+
+
+def _budget_label(budgets: dict | None) -> str:
+    """Compact row label of one swept budget map, e.g. ``mem=0:40,1.1:96``."""
+    if not budgets:
+        return "mem=uniform"
+    parts = ",".join(
+        f"{key}:{float(value):g}"
+        for key, value in sorted(budgets.items(), key=lambda item: str(item[0]))
+    )
+    return f"mem={parts}"
+
+
 @dataclass
 class SweepSpec:
     """A declarative grid of TrainingConfig fields x allocators x STAlloc knobs."""
@@ -160,12 +205,19 @@ class SweepSpec:
     #: Heterogeneous per-rank device budgets in GiB, e.g.
     #: ``{"0": 40, "3": 96, "1.2": 80}`` -- keys are pipeline ranks (applying
     #: to every EP coordinate of the stage) or exact ``pp.ep`` coordinates;
-    #: unlisted ranks use ``device_capacity_gib``/the device default.
+    #: unlisted ranks use ``device_capacity_gib``/the device default.  Also
+    #: available as a *grid axis*: ``"grid": {"device_memory_by_rank":
+    #: [{"0": 40}, {"0": 80}]}`` sweeps over whole budget maps (null = the
+    #: uniform device), overriding this spec-level value per cell.
     device_memory_by_rank: dict | None = None
+    #: Timing backend for the throughput columns: ``"timeline"`` (the
+    #: discrete-event simulator, default) or ``"analytical"`` (closed form).
+    timing: str = "timeline"
 
     def __post_init__(self) -> None:
         if not self.allocators:
             raise ValueError("a sweep needs at least one allocator")
+        validate_timing(self.timing)
         if self.ranks is not None:
             if isinstance(self.ranks, str):
                 if self.ranks != "all":
@@ -182,19 +234,7 @@ class SweepSpec:
                     f"ranks must be 'all' or a list of ints, got {self.ranks!r}"
                 )
         if self.device_memory_by_rank is not None:
-            if not isinstance(self.device_memory_by_rank, dict):
-                raise ValueError("device_memory_by_rank must map rank labels to GiB")
-            for key, value in self.device_memory_by_rank.items():
-                if not _valid_rank_key(key):
-                    raise ValueError(
-                        f"device_memory_by_rank key {key!r} is not a rank "
-                        f"(expected an int, '2', or '2.1')"
-                    )
-                if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
-                    raise ValueError(
-                        f"device_memory_by_rank[{key!r}] must be a positive GiB "
-                        f"value, got {value!r}"
-                    )
+            _validate_budget_map(self.device_memory_by_rank, "device_memory_by_rank")
         known_allocators = set(available_allocators()) | STALLOC_ALLOCATORS
         for allocator in self.allocators:
             if allocator not in known_allocators:
@@ -210,6 +250,13 @@ class SweepSpec:
                 )
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(f"grid axis {axis!r} must map to a non-empty list")
+            if axis == "device_memory_by_rank":
+                for index, budgets in enumerate(values):
+                    if budgets is None:
+                        continue  # null = the uniform device for this cell
+                    _validate_budget_map(
+                        budgets, f"grid device_memory_by_rank[{index}]"
+                    )
         for axis, values in self.stalloc_grid.items():
             if axis not in STALLOC_AXES:
                 raise ValueError(
@@ -278,6 +325,7 @@ class SweepSpec:
                 if self.device_memory_by_rank is not None
                 else None
             ),
+            "timing": self.timing,
         }
 
     # ------------------------------------------------------------------ #
@@ -308,16 +356,22 @@ class SweepSpec:
         ] or [()]
 
         points: list[SweepPoint] = []
+        budget_axis = "device_memory_by_rank" in self.grid
         for combo in itertools.product(*value_lists):
             assignment = dict(zip(axes, combo))
             seed = assignment.pop("seed", self.seed)
             scale = assignment.pop("scale", self.scale)
+            cell_budgets = (
+                assignment.pop("device_memory_by_rank")
+                if budget_axis
+                else self.device_memory_by_rank
+            )
             config = self._build_config(assignment)
             ranks = self._resolve_ranks(config)
             budgets = tuple(
                 sorted(
                     (str(key), float(value))
-                    for key, value in (self.device_memory_by_rank or {}).items()
+                    for key, value in (cell_budgets or {}).items()
                 )
             )
             for allocator in self.allocators:
@@ -334,6 +388,11 @@ class SweepSpec:
                             ranks=ranks,
                             stalloc_overrides=overrides,
                             device_memory_by_rank=budgets,
+                            timing=self.timing,
+                            # Swept budget maps label the row, not the
+                            # config: the config label feeds the trace
+                            # fingerprint and budgets don't shape traces.
+                            budget_label=_budget_label(cell_budgets) if budget_axis else "",
                         )
                     )
         return points
@@ -531,6 +590,22 @@ SWEEP_PRESETS: dict[str, dict] = {
         "grid": {"moe_comm_factor": [0.0, 1.0]},
         "allocators": ["torch2.3", "stalloc"],
         "ranks": "all",
+    },
+    # Timeline smoke: the skewed MoE job with the discrete-event timing model
+    # (the default backend) swept over the all-to-all comm factor.  The a2a
+    # collectives sit on every rank's critical path, so iteration_seconds and
+    # comm_seconds must grow monotonically with the factor while the router
+    # skew keeps a coordinate-valued binding rank; runs in the CI compare
+    # gate next to ep-comm-smoke.
+    "timeline-smoke": {
+        "name": "timeline-smoke",
+        "model": "moe-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        "base": {"num_microbatches": 2, "micro_batch_size": 1, "moe_imbalance": 0.6},
+        "grid": {"moe_comm_factor": [0.0, 0.5, 1.0]},
+        "allocators": ["torch2.3"],
+        "ranks": "all",
+        "timing": "timeline",
     },
     # STAlloc ablations (the §9.4 knobs) on a dense and a recompute config.
     "stalloc-ablation": {

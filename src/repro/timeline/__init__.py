@@ -1,0 +1,29 @@
+"""Discrete-event iteration-time simulation (the timing twin of the traces).
+
+Where :mod:`repro.workloads.tracegen` turns a configuration into the
+*allocation* behaviour of every rank, this package turns the same
+configuration -- same schedules, same router draws -- into its *timing*
+behaviour: per-rank event streams whose pipeline bubbles and expert-parallel
+straggler stalls emerge from dependencies instead of closed-form fractions.
+See :mod:`repro.timeline.simulator` for the model.
+"""
+
+from repro.timeline.simulator import (
+    TIMELINE_VERSION,
+    RankTimeline,
+    TimelineEvent,
+    TimelineResult,
+    TimelineSimulator,
+    clear_timeline_memo,
+    simulate_timeline,
+)
+
+__all__ = [
+    "TIMELINE_VERSION",
+    "RankTimeline",
+    "TimelineEvent",
+    "TimelineResult",
+    "TimelineSimulator",
+    "clear_timeline_memo",
+    "simulate_timeline",
+]

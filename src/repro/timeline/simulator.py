@@ -1,0 +1,648 @@
+"""Discrete-event iteration-time simulator with routed-load all-to-all costs.
+
+The analytical :class:`~repro.simulator.throughput.ThroughputModel` collapses
+an iteration into one closed-form expression: a pipeline-bubble *fraction*, a
+tensor-parallel *multiplier*, and no notion of which rank binds.  This module
+instead *executes* the iteration: every ``(pp, ep)`` rank coordinate walks its
+real 1F1B/interleaved schedule (:func:`repro.workloads.schedule.build_schedule`
+-- the exact phase order the allocation traces are generated from) and emits
+timestamped compute and communication events.  Three things then *emerge*
+instead of being assumed:
+
+* **pipeline bubbles** -- a stage's forward waits for the upstream stage's
+  forward (and its backward for the downstream backward), so warm-up/drain
+  idle time falls out of the send/recv dependency graph;
+* **all-to-all stalls** -- each MoE layer execution runs a dispatch (forward)
+  and combine (backward) collective across the expert-parallel group.  The
+  collective is *synchronising*: it starts when the last EP peer arrives and
+  its duration scales with the **maximum** routed bytes across the group, so
+  router imbalance turns directly into straggler time.  The routed loads come
+  from the same memoised :class:`~repro.workloads.moe.ExpertRouter` draws that
+  size the COMM_BUFFER transients in the allocation trace -- one gating
+  decision drives both the memory and the timing model;
+* **straggler ranks** -- each EP rank's expert FFN time scales with its local
+  routed load, so the binding rank of an imbalanced job is the coordinate
+  whose experts attract the most tokens.
+
+Compute durations are calibrated against the analytical model's FLOPs
+accounting (the forward/backward of one (micro-batch, chunk) unit gets its
+share of ``model_flops / num_gpus``, with the same recomputation and
+tensor-parallel multipliers), so with a balanced router and no communication
+the simulated iteration converges to the closed-form estimate -- the
+differential property the test suite pins.  INIT and OPTIMIZER phases are
+zero-duration markers, mirroring the analytical model's scope; allocator
+overhead is added downstream via
+:meth:`~repro.simulator.throughput.ThroughputEstimate.total_seconds`, exactly
+as for the analytical backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.events import PhaseKind
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.simulator.throughput import ThroughputEstimate, ThroughputModel
+from repro.workloads.memory_model import ACT_BYTES
+from repro.workloads.moe import ExpertRouter
+from repro.workloads.schedule import PhaseSpec, build_schedule
+from repro.workloads.tracegen import config_fingerprint
+from repro.workloads.training import TrainingConfig
+
+#: Bump whenever the simulator's event stream changes for an unchanged
+#: configuration, so the golden timeline fixtures fail loudly (and get
+#: regenerated) instead of drifting silently.
+TIMELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped activity of one ``(pp, ep)`` rank coordinate.
+
+    ``kind`` is one of:
+
+    * ``init`` / ``optimizer`` -- zero-duration phase markers;
+    * ``forward`` / ``backward`` -- dense compute (per layer for MoE phases,
+      per (micro-batch, chunk) unit for dense models);
+    * ``expert_forward`` / ``expert_backward`` -- the routed expert FFN work,
+      whose duration scales with this rank's local token load;
+    * ``a2a_dispatch`` / ``a2a_combine`` -- the synchronising all-to-all
+      collective of one layer execution (duration from the max routed bytes
+      across the EP group);
+    * ``stall`` -- time spent waiting: for an upstream/downstream pipeline
+      stage, or for slower EP peers to reach a collective.
+    """
+
+    rank: tuple
+    kind: str
+    start: float
+    duration: float
+    microbatch: int = -1
+    chunk: int = 0
+    #: Model-global layer id for per-layer events (-1 for phase-level ones);
+    #: matches the layer ids the trace generator keys router draws on.
+    layer: int = -1
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class RankTimeline:
+    """Event stream and time accounting of one simulated rank coordinate."""
+
+    rank: tuple
+    events: list[TimelineEvent] = field(default_factory=list)
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    finish_seconds: float = 0.0
+
+
+@dataclass
+class TimelineResult:
+    """The simulated iteration: per-rank event streams plus derived metrics."""
+
+    gpu_name: str
+    description: str
+    ranks: list[RankTimeline]
+    iteration_seconds: float
+    model_flops_per_iteration: float
+    num_gpus: int
+    tokens_per_iteration: int
+    peak_tflops: float
+    timeline_version: int = TIMELINE_VERSION
+
+    @property
+    def num_events(self) -> int:
+        return sum(len(rank.events) for rank in self.ranks)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Busy (compute) time of the busiest rank."""
+        return max(rank.compute_seconds for rank in self.ranks)
+
+    @property
+    def comm_seconds(self) -> float:
+        """All-to-all time of the most communication-bound rank."""
+        return max(rank.comm_seconds for rank in self.ranks)
+
+    @property
+    def stall_seconds(self) -> float:
+        """Explicit wait time (pipeline + straggler) of the most stalled rank."""
+        return max(rank.stall_seconds for rank in self.ranks)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the iteration the busiest rank is *not* computing.
+
+        For a dense balanced pipeline this reduces to the classical
+        ``(p - 1) / (chunks * m + p - 1)`` bubble fraction; with all-to-all
+        collectives it additionally counts communication and straggler time,
+        i.e. everything that keeps the binding rank's SMs idle.
+        """
+        if self.iteration_seconds <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.compute_seconds / self.iteration_seconds)
+
+    @property
+    def mfu(self) -> float:
+        """Model-FLOPs utilisation implied by the simulated iteration time.
+
+        Pure simulation: allocator overhead is not part of the timeline (it
+        is added downstream via :meth:`to_estimate`), so this is the
+        zero-overhead MFU; the estimate's :attr:`ThroughputEstimate.mfu`
+        charges the overhead and is what sweep rows report.
+        """
+        if self.peak_tflops <= 0 or self.iteration_seconds <= 0:
+            return 0.0
+        achieved = self.model_flops_per_iteration / self.num_gpus / self.iteration_seconds
+        return achieved / (self.peak_tflops * 1e12)
+
+    @property
+    def binding_rank(self) -> tuple:
+        """The coordinate that finishes last (ties break to the lowest coord)."""
+        return min(
+            (rank for rank in self.ranks),
+            key=lambda r: (-r.finish_seconds, r.rank),
+        ).rank
+
+    def rank_timeline(self, rank: tuple) -> RankTimeline:
+        for timeline in self.ranks:
+            if timeline.rank == tuple(rank):
+                return timeline
+        raise KeyError(f"no timeline for rank {rank!r}")
+
+    def to_estimate(self, *, allocator_overhead_seconds: float = 0.0) -> ThroughputEstimate:
+        """Adapt the simulation into the shared throughput-estimate shape."""
+        return ThroughputEstimate(
+            iteration_seconds=self.iteration_seconds,
+            model_flops_per_iteration=self.model_flops_per_iteration,
+            num_gpus=self.num_gpus,
+            allocator_overhead_seconds=allocator_overhead_seconds,
+            tokens_per_iteration=self.tokens_per_iteration,
+            comm_seconds=self.comm_seconds,
+            bubble_fraction=self.bubble_fraction,
+            peak_tflops=self.peak_tflops,
+            source="timeline",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Canonical serialization (golden-fixture digests)
+    # ------------------------------------------------------------------ #
+    def iter_jsonl(self):
+        """Canonical JSON-lines rendering of the simulation (sorted keys).
+
+        Two results serialize identically exactly when their event streams
+        are equal, which is what :meth:`digest` and the golden timeline
+        fixtures rely on.  Floats serialize through ``repr`` (shortest exact
+        form), so equality is bit-exact, not approximate.
+        """
+        header = {
+            "timeline_version": self.timeline_version,
+            "gpu": self.gpu_name,
+            "description": self.description,
+            "num_gpus": self.num_gpus,
+            "iteration_seconds": self.iteration_seconds,
+        }
+        yield json.dumps(header, sort_keys=True, separators=(",", ":"))
+        for rank in self.ranks:
+            for event in rank.events:
+                yield json.dumps(
+                    {
+                        "rank": list(event.rank),
+                        "kind": event.kind,
+                        "start": event.start,
+                        "duration": event.duration,
+                        "mb": event.microbatch,
+                        "chunk": event.chunk,
+                        "layer": event.layer,
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization (content address)."""
+        hasher = hashlib.sha256()
+        for line in self.iter_jsonl():
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def as_dict(self) -> dict:
+        return {
+            "gpu": self.gpu_name,
+            "description": self.description,
+            "iteration_seconds": self.iteration_seconds,
+            "comm_seconds": self.comm_seconds,
+            "stall_seconds": self.stall_seconds,
+            "bubble_fraction": self.bubble_fraction,
+            "mfu": self.mfu,
+            "num_events": self.num_events,
+            "binding_rank": list(self.binding_rank),
+            "timeline_version": self.timeline_version,
+        }
+
+
+class TimelineSimulator:
+    """Simulates one training iteration of every ``(pp, ep)`` rank coordinate.
+
+    The simulation advances *group phases*: expert-parallel peers of one
+    pipeline stage execute the identical schedule (only their routed loads
+    differ), so one phase of stage ``r`` is processed for all its EP ranks
+    together, with per-rank cursors that the synchronising collectives pull
+    back into lockstep.  Cross-stage dependencies (activation sends between
+    consecutive layer blocks, gradient sends on the way back) gate when a
+    group phase may start; phases are processed in dependency order, which is
+    exactly a discrete-event execution of the schedule.
+
+    One modelling note on interleaved (virtual-pipeline) schedules: the
+    memory-oriented schedule in :mod:`repro.workloads.schedule` drains
+    backward units in FIFO order, while true dataflow retires them in reverse
+    block order.  The timeline therefore models backward dependencies within
+    a chunk's pipeline chain (stage ``r`` waits for stage ``r + 1``) and cuts
+    the last-stage wrap edge between chunks -- keeping the simulation
+    deadlock-free for every schedule the generator can produce while still
+    letting warm-up/drain bubbles emerge from the chains that exist.
+    """
+
+    def __init__(
+        self,
+        config: TrainingConfig,
+        *,
+        gpu: GPUSpec | str = "A800-80GB",
+        seed: int = 0,
+        scale: float = 1.0,
+    ):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        self.config = config
+        self.gpu = get_gpu(gpu)
+        self.seed = seed
+        self.scale = scale
+        parallelism = config.parallelism
+        model = config.model
+        self.pp = parallelism.pipeline_parallel
+        self.ep = parallelism.expert_parallel if model.is_moe else 1
+        self.chunks = parallelism.virtual_pipeline_chunks
+        self.num_microbatches = config.num_microbatches
+        if model.is_moe and self.ep > 1 and model.num_experts % self.ep:
+            raise ValueError(
+                f"num_experts ({model.num_experts}) must be divisible by "
+                f"expert_parallel ({self.ep}) so the expert-parallel slices "
+                f"cover every expert exactly once"
+            )
+        full_layers = parallelism.layers_per_chunk(model.num_layers)
+        #: Simulated layers per chunk, matching TraceGenerator.layers_per_chunk
+        #: so router draws key on the same model-global layer ids the
+        #: allocation trace uses.
+        self.layers = max(1, round(full_layers * scale))
+        self.tokens = config.micro_batch_size * config.sequence_length
+
+        # -------------------------------------------------------------- #
+        # Durations, calibrated against the analytical FLOPs accounting
+        # -------------------------------------------------------------- #
+        analytical = ThroughputModel(self.gpu)
+        self.model_flops = analytical.model_flops_per_iteration(config)
+        per_gpu_flops = self.model_flops / parallelism.num_gpus
+        seconds_per_flop = (
+            analytical.communication_multiplier(config) / self.gpu.achievable_flops
+        )
+        unit_flops = per_gpu_flops / (self.num_microbatches * self.chunks)
+        #: Forward / backward seconds of one (micro-batch, chunk) unit.  The
+        #: classical 1:2 forward:backward split, plus one extra forward in
+        #: the backward under recomputation -- summed over all units this
+        #: reproduces the analytical compute_multiplier exactly.
+        self.forward_unit_seconds = unit_flops / 3.0 * seconds_per_flop
+        self.backward_unit_seconds = unit_flops * 2.0 / 3.0 * seconds_per_flop
+        if config.recompute:
+            self.backward_unit_seconds += unit_flops / 3.0 * seconds_per_flop
+
+        #: Fraction of one layer's compute that lives in the routed experts
+        #: (scales with each EP rank's local load); 0 for dense models.
+        self.expert_share = self._expert_flops_share()
+
+        if model.is_moe:
+            self.num_local_experts = max(1, model.num_experts // self.ep)
+            self._router = ExpertRouter(
+                num_experts=model.num_experts,
+                num_local_experts=self.num_local_experts,
+                top_k=model.moe_top_k,
+                seed=seed,
+                imbalance=config.moe_imbalance,
+                ep_rank=0,
+            )
+        else:
+            self.num_local_experts = 0
+            self._router = None
+
+    # ------------------------------------------------------------------ #
+    # Duration helpers
+    # ------------------------------------------------------------------ #
+    def _expert_flops_share(self) -> float:
+        """Share of one layer's per-token FLOPs spent in routed experts."""
+        model = self.config.model
+        if not model.is_moe:
+            return 0.0
+        expert = 6.0 * model.moe_top_k * model.expert_params()
+        dense = 6.0 * (
+            model.attention_params()
+            + 2 * model.hidden_size
+            + model.hidden_size * model.num_experts
+        )
+        if model.moe_shared_expert_ffn:
+            h, f = model.hidden_size, model.moe_shared_expert_ffn
+            dense += 6.0 * ((2 if model.gated_mlp else 1) * h * f + f * h)
+        dense += 12.0 * model.hidden_size * self.config.sequence_length
+        total = dense + expert
+        return expert / total if total > 0 else 0.0
+
+    def _a2a_seconds(self, max_tokens: int) -> float:
+        """Duration of one all-to-all collective.
+
+        A synchronising collective completes when its slowest participant has
+        moved its data, so the duration is set by the **maximum** routed
+        bytes across the EP group -- the same ``moe_comm_factor``-scaled
+        activation bytes the trace stages as COMM_BUFFER transients.
+        """
+        factor = self.config.moe_comm_factor
+        if factor <= 0 or max_tokens <= 0:
+            return 0.0
+        bytes_moved = factor * max_tokens * self.config.model.hidden_size * ACT_BYTES
+        return bytes_moved / (self.gpu.a2a_gbytes_per_sec * 1e9)
+
+    def _global_layer(self, stage: int, chunk: int, layer: int) -> int:
+        """Model-global layer id of one execution (same mapping as tracegen)."""
+        return (chunk * self.pp + stage) * self.layers + layer
+
+    def _routed_loads(self, global_layer: int, microbatch: int) -> list[int]:
+        """Per-EP-rank routed token assignments of one layer execution."""
+        counts = self._router.route_global(
+            self.tokens, layer=global_layer, microbatch=microbatch
+        )
+        local = self.num_local_experts
+        return [
+            sum(counts[ep * local:(ep + 1) * local]) for ep in range(self.ep)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Dependencies
+    # ------------------------------------------------------------------ #
+    def _dependency(self, stage: int, spec: PhaseSpec):
+        """Cross-stage phase this phase must wait for (None when unconstrained).
+
+        Layer blocks are numbered ``b = chunk * pp + stage`` (the Megatron
+        interleaving assignment).  A forward consumes the activations of
+        block ``b - 1``; a backward consumes the gradients of block ``b + 1``
+        along the within-chunk pipeline chain (see the class docstring for
+        why the interleaved wrap edge is cut).
+        """
+        if spec.kind is PhaseKind.FORWARD:
+            block = spec.chunk * self.pp + stage
+            if block == 0:
+                return None
+            src_stage = (block - 1) % self.pp
+            src_chunk = (block - 1) // self.pp
+            return (src_stage, "F", spec.microbatch, src_chunk)
+        if spec.kind is PhaseKind.BACKWARD:
+            block = spec.chunk * self.pp + stage
+            if block == self.chunks * self.pp - 1:
+                return None  # the loss block: its own forward precedes it in-schedule
+            if stage == self.pp - 1:
+                return None  # interleaved wrap edge (cut, see class docstring)
+            return (stage + 1, "B", spec.microbatch, spec.chunk)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def run(self) -> TimelineResult:
+        schedules = {
+            stage: build_schedule(self.config.parallelism, self.num_microbatches, stage)
+            for stage in range(self.pp)
+        }
+        eps = range(self.ep)
+        clocks = {(stage, ep): 0.0 for stage in range(self.pp) for ep in eps}
+        events: dict[tuple, list[TimelineEvent]] = {coord: [] for coord in clocks}
+        totals = {coord: {"compute": 0.0, "comm": 0.0, "stall": 0.0} for coord in clocks}
+        ends: dict[tuple, dict[int, float]] = {}
+
+        next_index = [0] * self.pp
+        remaining = sum(len(schedule) for schedule in schedules.values())
+        while remaining:
+            progressed = False
+            for stage in range(self.pp):
+                index = next_index[stage]
+                if index >= len(schedules[stage]):
+                    continue
+                spec = schedules[stage][index]
+                dependency = self._dependency(stage, spec)
+                if dependency is not None and dependency not in ends:
+                    continue
+                self._run_phase(stage, spec, dependency, clocks, events, totals, ends)
+                next_index[stage] += 1
+                remaining -= 1
+                progressed = True
+            if not progressed:  # pragma: no cover - guards future schedule changes
+                raise RuntimeError(
+                    "timeline deadlock: no executable phase left "
+                    f"(next indices {next_index})"
+                )
+
+        iteration = max(clocks.values())
+        rank_timelines = [
+            RankTimeline(
+                rank=coord,
+                events=events[coord],
+                compute_seconds=totals[coord]["compute"],
+                comm_seconds=totals[coord]["comm"],
+                stall_seconds=totals[coord]["stall"],
+                finish_seconds=clocks[coord],
+            )
+            for coord in sorted(clocks)
+        ]
+        return TimelineResult(
+            gpu_name=self.gpu.name,
+            description=self.config.describe(),
+            ranks=rank_timelines,
+            iteration_seconds=iteration,
+            model_flops_per_iteration=self.model_flops,
+            num_gpus=self.config.parallelism.num_gpus,
+            tokens_per_iteration=self.config.tokens_per_iteration,
+            peak_tflops=self.gpu.peak_tflops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase bodies
+    # ------------------------------------------------------------------ #
+    def _emit(self, events, totals, coord, kind, start, duration, spec=None, layer=-1):
+        events[coord].append(
+            TimelineEvent(
+                rank=coord,
+                kind=kind,
+                start=start,
+                duration=duration,
+                microbatch=spec.microbatch if spec is not None else -1,
+                chunk=spec.chunk if spec is not None else 0,
+                layer=layer,
+            )
+        )
+        if kind in ("forward", "backward", "expert_forward", "expert_backward"):
+            totals[coord]["compute"] += duration
+        elif kind in ("a2a_dispatch", "a2a_combine"):
+            totals[coord]["comm"] += duration
+        elif kind == "stall":
+            totals[coord]["stall"] += duration
+
+    def _run_phase(self, stage, spec, dependency, clocks, events, totals, ends):
+        if spec.kind in (PhaseKind.INIT, PhaseKind.OPTIMIZER):
+            kind = "init" if spec.kind is PhaseKind.INIT else "optimizer"
+            for ep in range(self.ep):
+                coord = (stage, ep)
+                self._emit(events, totals, coord, kind, clocks[coord], 0.0)
+            return
+
+        forward = spec.kind is PhaseKind.FORWARD
+        cursors: dict[int, float] = {}
+        for ep in range(self.ep):
+            coord = (stage, ep)
+            start = clocks[coord]
+            if dependency is not None:
+                start = max(start, ends[dependency][ep])
+            if start > clocks[coord]:
+                self._emit(
+                    events, totals, coord, "stall", clocks[coord],
+                    start - clocks[coord], spec,
+                )
+            cursors[ep] = start
+
+        if self._router is None:
+            # Dense model: one compute event covers the whole unit; there are
+            # no collectives to interleave with, so per-layer granularity
+            # would only inflate the event stream.
+            duration = self.forward_unit_seconds if forward else self.backward_unit_seconds
+            kind = "forward" if forward else "backward"
+            for ep in cursors:
+                self._emit(events, totals, (stage, ep), kind, cursors[ep], duration, spec)
+                cursors[ep] += duration
+        else:
+            self._run_moe_layers(stage, spec, forward, cursors, events, totals)
+
+        key = (stage, "F" if forward else "B", spec.microbatch, spec.chunk)
+        ends[key] = dict(cursors)
+        for ep, cursor in cursors.items():
+            clocks[(stage, ep)] = cursor
+
+    def _run_moe_layers(self, stage, spec, forward, cursors, events, totals):
+        unit = self.forward_unit_seconds if forward else self.backward_unit_seconds
+        per_layer = unit / self.layers
+        expert_base = per_layer * self.expert_share
+        dense_part = per_layer - expert_base
+        dense_kind = "forward" if forward else "backward"
+        expert_kind = "expert_forward" if forward else "expert_backward"
+        a2a_kind = "a2a_dispatch" if forward else "a2a_combine"
+        layer_order = range(self.layers) if forward else reversed(range(self.layers))
+
+        for layer in layer_order:
+            global_layer = self._global_layer(stage, spec.chunk, layer)
+            loads = self._routed_loads(global_layer, spec.microbatch)
+            balanced = sum(loads) / self.ep if self.ep else 0.0
+            a2a_duration = self._a2a_seconds(max(loads) if loads else 0)
+
+            if forward:
+                # Dense compute produces the tokens the dispatch will route.
+                for ep in cursors:
+                    self._emit(
+                        events, totals, (stage, ep), dense_kind,
+                        cursors[ep], dense_part, spec, global_layer,
+                    )
+                    cursors[ep] += dense_part
+            # The collective synchronises the EP group: it begins when the
+            # last peer arrives, and everyone resumes together when it ends.
+            # With a zero comm factor the synchronisation (and its stalls)
+            # still happens, but no zero-duration event is emitted -- the
+            # comm-free event stream stays free of no-op markers.
+            begin = max(cursors.values())
+            for ep in cursors:
+                coord = (stage, ep)
+                if begin > cursors[ep]:
+                    self._emit(
+                        events, totals, coord, "stall", cursors[ep],
+                        begin - cursors[ep], spec, global_layer,
+                    )
+                if a2a_duration > 0:
+                    self._emit(
+                        events, totals, coord, a2a_kind, begin, a2a_duration,
+                        spec, global_layer,
+                    )
+                cursors[ep] = begin + a2a_duration
+            # Expert FFN (or its gradients): scales with the local load.
+            for ep in cursors:
+                expert_duration = (
+                    expert_base * (loads[ep] / balanced) if balanced > 0 else 0.0
+                )
+                if expert_duration > 0:
+                    self._emit(
+                        events, totals, (stage, ep), expert_kind,
+                        cursors[ep], expert_duration, spec, global_layer,
+                    )
+                    cursors[ep] += expert_duration
+            if not forward:
+                # Dense gradient work follows the combine + expert gradients.
+                for ep in cursors:
+                    self._emit(
+                        events, totals, (stage, ep), dense_kind,
+                        cursors[ep], dense_part, spec, global_layer,
+                    )
+                    cursors[ep] += dense_part
+
+
+# ---------------------------------------------------------------------- #
+# Memoised entry point
+# ---------------------------------------------------------------------- #
+#: Small in-process memo: a sweep point runs one configuration through
+#: several allocators, and the timeline (allocator-independent) would
+#: otherwise be recomputed for each of them.
+_MEMO: dict[tuple, TimelineResult] = {}
+_MEMO_MAX = 8
+
+
+def simulate_timeline(
+    config: TrainingConfig,
+    *,
+    gpu: GPUSpec | str = "A800-80GB",
+    seed: int = 0,
+    scale: float = 1.0,
+) -> TimelineResult:
+    """Simulate one iteration of ``config`` on ``gpu`` (memoised).
+
+    Returns the full :class:`TimelineResult`; callers needing the shared
+    estimate shape use :meth:`TimelineResult.to_estimate`.  Results are
+    treated as immutable -- the memo hands the same object to every caller.
+    """
+    spec = get_gpu(gpu)
+    # The whole (frozen, hashable) spec is part of the key, not just its
+    # name: a caller passing a customised GPUSpec under a stock name must
+    # never be served a result computed for different hardware constants.
+    key = (
+        config_fingerprint(config, seed=seed, scale=scale),
+        spec,
+        TIMELINE_VERSION,
+    )
+    cached = _MEMO.get(key)
+    if cached is not None:
+        return cached
+    result = TimelineSimulator(config, gpu=spec, seed=seed, scale=scale).run()
+    _MEMO[key] = result
+    while len(_MEMO) > _MEMO_MAX:
+        _MEMO.pop(next(iter(_MEMO)))
+    return result
+
+
+def clear_timeline_memo() -> None:
+    """Drop memoised timelines (tests use this to force fresh simulations)."""
+    _MEMO.clear()

@@ -1,0 +1,164 @@
+"""Golden timeline regression fixtures.
+
+``tests/fixtures/golden_timelines.json`` pins the content digest (plus a few
+readable statistics) of small canonical *timing* simulations at fixed seeds,
+the timing twin of ``golden_traces.json``: any change to the discrete-event
+simulator's event stream -- durations, dependency structure, collective
+semantics -- flips a digest and fails these tests with a diff of what moved.
+
+When a change is intentional, bump ``TIMELINE_VERSION`` and regenerate::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_timelines.py
+
+then commit the updated ``golden_timelines.json`` together with the simulator
+change.  The fixture file records the simulator version it was built with, so
+a version bump without regenerated fixtures fails loudly too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.timeline import TIMELINE_VERSION, TimelineSimulator
+from repro.workloads.models import get_model
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.training import TrainingConfig
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_timelines.json"
+
+REGEN_HINT = (
+    "If this change to the timeline event stream is intentional: bump "
+    "TIMELINE_VERSION in src/repro/timeline/simulator.py, regenerate the fixtures "
+    "with `REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest "
+    "tests/test_golden_timelines.py`, and commit "
+    "tests/fixtures/golden_timelines.json with the simulator change."
+)
+
+
+def _case_configs() -> dict[str, dict]:
+    """Canonical fixture cases: tiny models, full scale, pinned seeds."""
+    gpt_tiny = get_model("gpt-tiny")
+    moe_tiny = get_model("moe-tiny")
+    dense = TrainingConfig(
+        model=gpt_tiny,
+        parallelism=ParallelismConfig(pipeline_parallel=2, data_parallel=2),
+        micro_batch_size=2,
+        num_microbatches=2,
+    )
+    moe = TrainingConfig(
+        model=moe_tiny,
+        parallelism=ParallelismConfig(
+            pipeline_parallel=2, data_parallel=4, expert_parallel=4
+        ),
+        micro_batch_size=1,
+        num_microbatches=2,
+        moe_imbalance=0.6,
+    )
+    return {
+        "gpt-tiny": {"config": dense, "seed": 0},
+        "gpt-tiny-recompute-vpp": {
+            "config": dense.with_(
+                recompute=True,
+                parallelism=ParallelismConfig(
+                    pipeline_parallel=2, data_parallel=2, virtual_pipeline_chunks=2
+                ),
+            ),
+            "seed": 1,
+        },
+        # Skewed router, collectives with zero duration: stragglers come from
+        # hot-expert compute alone (the comm-free timing baseline).
+        "moe-tiny-comm-free": {"config": moe, "seed": 0},
+        # Skewed router plus routed-load collective costs: the full model.
+        "moe-tiny-comm": {"config": moe.with_(moe_comm_factor=1.0), "seed": 0},
+    }
+
+
+def _generate_entry(case: dict) -> dict:
+    result = TimelineSimulator(case["config"], seed=case["seed"]).run()
+    return {
+        "digest": result.digest(),
+        "timeline_version": TIMELINE_VERSION,
+        "num_events": result.num_events,
+        "iteration_seconds": result.iteration_seconds,
+        "comm_seconds": result.comm_seconds,
+        "bubble_fraction": result.bubble_fraction,
+        "binding_rank": list(result.binding_rank),
+    }
+
+
+def _load_fixtures() -> dict:
+    if not FIXTURE_PATH.exists():
+        pytest.fail(
+            f"golden fixture file {FIXTURE_PATH} is missing. Generate it with "
+            "`REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest "
+            "tests/test_golden_timelines.py` and commit it."
+        )
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def test_regenerate_fixtures_when_requested():
+    """With REGEN_GOLDEN=1, rewrite the fixture file (and always pass)."""
+    if not os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("set REGEN_GOLDEN=1 to rewrite tests/fixtures/golden_timelines.json")
+    entries = {name: _generate_entry(case) for name, case in _case_configs().items()}
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_fixture_version_matches_simulator():
+    """TIMELINE_VERSION moved but the fixtures were not regenerated."""
+    fixtures = _load_fixtures()
+    stale = {
+        name: entry["timeline_version"]
+        for name, entry in fixtures.items()
+        if entry["timeline_version"] != TIMELINE_VERSION
+    }
+    if stale:
+        pytest.fail(
+            f"TIMELINE_VERSION is {TIMELINE_VERSION} but these fixtures were "
+            f"recorded at other versions: {stale}. {REGEN_HINT}"
+        )
+
+
+def test_fixture_cases_in_sync_with_code():
+    fixtures = _load_fixtures()
+    assert sorted(fixtures) == sorted(_case_configs()), (
+        "fixture file and _case_configs() disagree on the case list. " + REGEN_HINT
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_case_configs()))
+def test_golden_digest(name):
+    fixtures = _load_fixtures()
+    case = _case_configs()[name]
+    expected = fixtures[name]
+    actual = _generate_entry(case)
+    if actual == expected:
+        return
+    diff = "\n".join(
+        f"  {key}: recorded {expected.get(key)!r} -> generated {actual.get(key)!r}"
+        for key in sorted(set(expected) | set(actual))
+        if expected.get(key) != actual.get(key)
+    )
+    pytest.fail(
+        f"golden timeline {name!r} drifted from its recorded fixture "
+        f"({case['config'].describe()}, seed={case['seed']}):\n{diff}\n{REGEN_HINT}"
+    )
+
+
+def test_comm_fixture_actually_pays_for_communication():
+    """The comm case must be strictly slower than its comm-free twin, and the
+    comm-free twin must record zero collective time -- otherwise the fixtures
+    no longer pin the property they exist for."""
+    fixtures = _load_fixtures()
+    comm_free = fixtures["moe-tiny-comm-free"]
+    comm = fixtures["moe-tiny-comm"]
+    assert comm_free["comm_seconds"] == 0.0
+    assert comm["comm_seconds"] > 0.0
+    assert comm["iteration_seconds"] > comm_free["iteration_seconds"]

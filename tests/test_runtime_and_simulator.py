@@ -17,7 +17,7 @@ from repro.simulator.runner import (
     run_workload,
     run_workload_suite,
 )
-from repro.simulator.throughput import GPU_SPECS, ThroughputModel
+from repro.simulator.throughput import GPU_SPECS, ThroughputEstimate, ThroughputModel
 from repro.workloads.models import get_model
 from repro.workloads.parallelism import ParallelismConfig
 from repro.workloads.training import TrainingConfig
@@ -240,6 +240,64 @@ class TestThroughputModel:
     def test_tflops_below_peak(self):
         model = ThroughputModel(GPU_SPECS["H200-141GB"])
         assert model.tflops(self._config()) < GPU_SPECS["H200-141GB"].peak_tflops
+
+    # ------------------------------------------------------------------ #
+    # Edge cases
+    # ------------------------------------------------------------------ #
+    def test_pp1_has_zero_bubble(self):
+        model = ThroughputModel(GPU_SPECS["A800-80GB"])
+        config = self._config().with_(
+            parallelism=ParallelismConfig(tensor_parallel=2, data_parallel=4)
+        )
+        assert model.pipeline_bubble_fraction(config) == 0.0
+        estimate = model.estimate(config)
+        assert estimate.bubble_fraction == 0.0
+
+    def test_tp1_has_no_communication_penalty(self):
+        model = ThroughputModel(GPU_SPECS["A800-80GB"])
+        config = self._config().with_(
+            parallelism=ParallelismConfig(pipeline_parallel=2, data_parallel=4)
+        )
+        assert model.communication_multiplier(config) == 1.0
+
+    def test_zero_time_guards(self):
+        """A degenerate estimate (zero iteration time) must report zero
+        throughput instead of dividing by zero."""
+        estimate = ThroughputEstimate(
+            iteration_seconds=0.0,
+            model_flops_per_iteration=1e12,
+            num_gpus=8,
+            tokens_per_iteration=1024,
+        )
+        assert estimate.tflops_per_gpu == 0.0
+        assert estimate.tokens_per_second == 0.0
+        assert estimate.mfu == 0.0
+
+    def test_mfu_requires_a_known_peak(self):
+        with_peak = ThroughputEstimate(
+            iteration_seconds=1.0,
+            model_flops_per_iteration=1e12,
+            num_gpus=1,
+            peak_tflops=100.0,
+        )
+        without_peak = ThroughputEstimate(
+            iteration_seconds=1.0,
+            model_flops_per_iteration=1e12,
+            num_gpus=1,
+        )
+        assert with_peak.mfu == pytest.approx(0.01)
+        assert without_peak.mfu == 0.0
+
+    def test_estimate_records_backend_and_bubble(self):
+        model = ThroughputModel(GPU_SPECS["A800-80GB"])
+        config = self._config()
+        estimate = model.estimate(config)
+        assert estimate.source == "analytical"
+        assert estimate.comm_seconds == 0.0
+        assert estimate.bubble_fraction == pytest.approx(
+            model.pipeline_bubble_fraction(config)
+        )
+        assert estimate.peak_tflops == GPU_SPECS["A800-80GB"].peak_tflops
 
 
 # ---------------------------------------------------------------------- #

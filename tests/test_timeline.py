@@ -1,0 +1,579 @@
+"""Tests for the discrete-event timeline simulator and its plumbing.
+
+Covers the subsystem's defining properties -- convergence to the analytical
+model when nothing dynamic is happening, emergent pipeline bubbles, strictly
+worse iterations under router imbalance and communication (monotone in the
+comm factor), determinism -- plus the integration surface: the runner's
+``timing`` backends, the new sweep columns and their ``--compare`` regression
+directions, the ``device_memory_by_rank`` grid axis, and the GPU-spec
+single-source-of-truth satellite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import GIB, a800_80gb, device_from_spec, h200_141gb, mi210_64gb
+from repro.gpu.specs import GPU_SPECS, get_gpu
+from repro.simulator import throughput as throughput_module
+from repro.simulator.runner import run_job, run_workload
+from repro.simulator.throughput import ThroughputModel
+from repro.sweep.compare import compare_results
+from repro.sweep.engine import execute_point, run_sweep
+from repro.sweep.spec import SweepSpec, load_spec
+from repro.timeline import (
+    TimelineSimulator,
+    clear_timeline_memo,
+    simulate_timeline,
+)
+from repro.workloads.moe import ExpertRouter
+from repro.workloads.models import get_model
+from repro.workloads.tracegen import config_fingerprint
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.training import TrainingConfig
+
+GPU = GPU_SPECS["A800-80GB"]
+
+
+def dense_config(**overrides) -> TrainingConfig:
+    defaults = dict(
+        model=get_model("gpt-tiny"),
+        parallelism=ParallelismConfig(pipeline_parallel=4, data_parallel=2),
+        micro_batch_size=2,
+        num_microbatches=8,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def moe_config(**overrides) -> TrainingConfig:
+    defaults = dict(
+        model=get_model("moe-tiny"),
+        parallelism=ParallelismConfig(
+            pipeline_parallel=2, data_parallel=4, expert_parallel=4
+        ),
+        micro_batch_size=1,
+        num_microbatches=2,
+        moe_imbalance=0.6,
+        moe_comm_factor=1.0,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def rel_diff(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b))
+
+
+# ---------------------------------------------------------------------- #
+# Differential: timeline vs analytical
+# ---------------------------------------------------------------------- #
+class TestAnalyticalConvergence:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            {"recompute": True},
+            {"zero_stage": 1},
+            {"offload_activations": True, "recompute": True},
+            {
+                "parallelism": ParallelismConfig(
+                    tensor_parallel=2, pipeline_parallel=2, data_parallel=2
+                )
+            },
+            {"num_microbatches": 1},  # m < p: the degenerate pipeline
+        ],
+    )
+    def test_dense_iteration_matches_closed_form(self, overrides):
+        """With nothing dynamic, the emergent schedule reproduces the classical
+        ``(m + p - 1) / m`` pipeline stretch exactly -- same iteration time and
+        same bubble fraction as the closed form, to float precision."""
+        config = dense_config(**overrides)
+        timeline = simulate_timeline(config, gpu=GPU)
+        analytical = ThroughputModel(GPU).estimate(config)
+        assert rel_diff(timeline.iteration_seconds, analytical.iteration_seconds) < 1e-9
+        assert abs(timeline.bubble_fraction - analytical.bubble_fraction) < 1e-9
+
+    def test_moe_balanced_comm_free_converges(self):
+        """The acceptance-criteria differential: a balanced router and zero
+        comm factor make every EP rank identical, so the simulated iteration
+        lands on the analytical estimate (within balanced-split rounding)."""
+        config = moe_config(moe_imbalance=0.0, moe_comm_factor=0.0)
+        timeline = simulate_timeline(config, gpu=GPU)
+        analytical = ThroughputModel(GPU).estimate(config)
+        assert rel_diff(timeline.iteration_seconds, analytical.iteration_seconds) < 0.01
+        assert timeline.comm_seconds == 0.0
+
+    def test_pp1_has_no_bubble(self):
+        config = dense_config(parallelism=ParallelismConfig(data_parallel=2))
+        timeline = simulate_timeline(config, gpu=GPU)
+        assert timeline.bubble_fraction < 1e-12
+
+    def test_vpp_reduces_bubble(self):
+        base = ParallelismConfig(pipeline_parallel=2, data_parallel=2)
+        vpp = ParallelismConfig(
+            pipeline_parallel=2, data_parallel=2, virtual_pipeline_chunks=2
+        )
+        plain = simulate_timeline(dense_config(parallelism=base, num_microbatches=4), gpu=GPU)
+        chunked = simulate_timeline(dense_config(parallelism=vpp, num_microbatches=4), gpu=GPU)
+        assert chunked.bubble_fraction < plain.bubble_fraction
+
+    def test_mfu_positive_and_below_one(self):
+        timeline = simulate_timeline(dense_config(), gpu=GPU)
+        assert 0.0 < timeline.mfu < 1.0
+        # MFU can never exceed the tuned achievable ceiling.
+        assert timeline.mfu <= GPU.achievable_mfu + 1e-9
+
+
+# ---------------------------------------------------------------------- #
+# Imbalance, communication, stragglers
+# ---------------------------------------------------------------------- #
+class TestRoutedLoadTiming:
+    def test_imbalance_and_comm_strictly_slower_than_baseline(self):
+        """The acceptance criterion: skewed routing plus communication costs
+        must make the binding rank strictly slower than the balanced,
+        comm-free twin."""
+        slow = simulate_timeline(moe_config(), gpu=GPU)
+        baseline = simulate_timeline(
+            moe_config(moe_imbalance=0.0, moe_comm_factor=0.0), gpu=GPU
+        )
+        assert slow.iteration_seconds > baseline.iteration_seconds
+        # ... and each effect alone already hurts.
+        imbalance_only = simulate_timeline(moe_config(moe_comm_factor=0.0), gpu=GPU)
+        comm_only = simulate_timeline(moe_config(moe_imbalance=0.0), gpu=GPU)
+        assert imbalance_only.iteration_seconds > baseline.iteration_seconds
+        assert comm_only.iteration_seconds > baseline.iteration_seconds
+
+    def test_iteration_monotone_in_comm_factor(self):
+        previous = None
+        for factor in [0.0, 0.25, 0.5, 1.0, 2.0]:
+            timeline = simulate_timeline(moe_config(moe_comm_factor=factor), gpu=GPU)
+            if previous is not None:
+                assert timeline.iteration_seconds > previous
+            previous = timeline.iteration_seconds
+
+    def test_comm_seconds_scale_linearly_with_factor(self):
+        one = simulate_timeline(moe_config(moe_comm_factor=1.0), gpu=GPU)
+        two = simulate_timeline(moe_config(moe_comm_factor=2.0), gpu=GPU)
+        assert rel_diff(two.comm_seconds, 2 * one.comm_seconds) < 1e-9
+
+    def test_imbalance_creates_straggler_stalls_without_comm_bytes(self):
+        """Even with zero-duration collectives the synchronisation is real:
+        hot-expert ranks make their EP peers wait at every all-to-all."""
+        timeline = simulate_timeline(moe_config(moe_comm_factor=0.0), gpu=GPU)
+        assert timeline.stall_seconds > 0
+        stalls = [rank.stall_seconds for rank in timeline.ranks]
+        assert max(stalls) > min(stalls)
+
+    def test_binding_rank_is_a_coordinate_under_skew(self):
+        timeline = simulate_timeline(moe_config(), gpu=GPU)
+        assert timeline.binding_rank in {rank.rank for rank in timeline.ranks}
+        assert len(timeline.binding_rank) == 2
+
+    def test_timing_loads_match_the_trace_router(self):
+        """The timeline must derive its loads from the *same* gating decisions
+        that size the trace's COMM_BUFFER transients: the per-EP-rank slices
+        of one globally-seeded draw."""
+        config = moe_config()
+        simulator = TimelineSimulator(config, gpu=GPU, seed=3)
+        model = config.model
+        ep = config.parallelism.expert_parallel
+        loads = simulator._routed_loads(5, 1)
+        for ep_rank in range(ep):
+            router = ExpertRouter(
+                num_experts=model.num_experts,
+                num_local_experts=model.num_experts // ep,
+                top_k=model.moe_top_k,
+                seed=3,
+                imbalance=config.moe_imbalance,
+                ep_rank=ep_rank,
+            )
+            assert loads[ep_rank] == sum(
+                router.route(simulator.tokens, layer=5, microbatch=1)
+            )
+
+    def test_ep_must_divide_experts(self):
+        config = moe_config(
+            parallelism=ParallelismConfig(
+                pipeline_parallel=2, data_parallel=4, expert_parallel=3
+            )
+        )
+        with pytest.raises(ValueError, match="divisible"):
+            TimelineSimulator(config, gpu=GPU)
+
+
+# ---------------------------------------------------------------------- #
+# Determinism and event-stream invariants
+# ---------------------------------------------------------------------- #
+class TestEventStream:
+    def test_repeated_simulation_is_byte_identical(self):
+        config = moe_config()
+        first = TimelineSimulator(config, gpu=GPU, seed=7).run()
+        second = TimelineSimulator(config, gpu=GPU, seed=7).run()
+        assert first.digest() == second.digest()
+        assert [e for r in first.ranks for e in r.events] == [
+            e for r in second.ranks for e in r.events
+        ]
+
+    def test_different_seeds_differ_under_skew(self):
+        config = moe_config()
+        assert (
+            TimelineSimulator(config, gpu=GPU, seed=0).run().digest()
+            != TimelineSimulator(config, gpu=GPU, seed=1).run().digest()
+        )
+
+    def test_events_are_ordered_and_non_overlapping_per_rank(self):
+        timeline = simulate_timeline(moe_config(), gpu=GPU)
+        for rank in timeline.ranks:
+            cursor = 0.0
+            for event in rank.events:
+                assert event.duration >= 0.0
+                assert event.start >= cursor - 1e-12
+                cursor = max(cursor, event.end)
+            assert cursor <= timeline.iteration_seconds + 1e-12
+            assert rank.finish_seconds <= timeline.iteration_seconds + 1e-12
+
+    def test_time_accounting_is_consistent(self):
+        timeline = simulate_timeline(moe_config(), gpu=GPU)
+        for rank in timeline.ranks:
+            busy = rank.compute_seconds + rank.comm_seconds + rank.stall_seconds
+            assert busy <= rank.finish_seconds + 1e-12
+            by_kind = {"compute": 0.0, "comm": 0.0, "stall": 0.0}
+            for event in rank.events:
+                if event.kind in ("forward", "backward", "expert_forward", "expert_backward"):
+                    by_kind["compute"] += event.duration
+                elif event.kind in ("a2a_dispatch", "a2a_combine"):
+                    by_kind["comm"] += event.duration
+                elif event.kind == "stall":
+                    by_kind["stall"] += event.duration
+            assert by_kind["compute"] == pytest.approx(rank.compute_seconds)
+            assert by_kind["comm"] == pytest.approx(rank.comm_seconds)
+            assert by_kind["stall"] == pytest.approx(rank.stall_seconds)
+
+    def test_collectives_are_synchronised_across_the_ep_group(self):
+        """Every (phase, layer) collective must start at the same instant on
+        every EP peer of its stage -- the synchronising-collective semantics
+        stragglers emerge from."""
+        timeline = simulate_timeline(moe_config(), gpu=GPU)
+        collectives: dict[tuple, set] = {}
+        for rank in timeline.ranks:
+            stage = rank.rank[0]
+            for event in rank.events:
+                if event.kind in ("a2a_dispatch", "a2a_combine"):
+                    key = (stage, event.kind, event.microbatch, event.chunk, event.layer)
+                    collectives.setdefault(key, set()).add(event.start)
+        assert collectives
+        for key, starts in collectives.items():
+            assert len(starts) == 1, f"collective {key} not synchronised: {starts}"
+
+    def test_memo_returns_same_object(self):
+        clear_timeline_memo()
+        config = moe_config()
+        assert simulate_timeline(config, gpu=GPU) is simulate_timeline(config, gpu=GPU)
+
+    def test_memo_keys_on_spec_contents_not_name(self):
+        """A customised GPUSpec under a stock name must never be served a
+        memoised result computed for different hardware constants."""
+        import dataclasses
+
+        clear_timeline_memo()
+        config = moe_config()
+        stock = simulate_timeline(config, gpu=GPU)
+        slow_a2a = dataclasses.replace(GPU, a2a_gbytes_per_sec=GPU.a2a_gbytes_per_sec / 10)
+        custom = simulate_timeline(config, gpu=slow_a2a)
+        assert custom is not stock
+        assert custom.comm_seconds > stock.comm_seconds
+
+    def test_result_summary_surface(self):
+        timeline = simulate_timeline(moe_config(), gpu=GPU)
+        summary = timeline.as_dict()
+        assert summary["iteration_seconds"] == timeline.iteration_seconds
+        assert summary["binding_rank"] == list(timeline.binding_rank)
+        assert summary["num_events"] == timeline.num_events
+        per_rank = timeline.rank_timeline(timeline.binding_rank)
+        assert per_rank.rank == timeline.binding_rank
+        with pytest.raises(KeyError):
+            timeline.rank_timeline((99, 99))
+        lines = list(timeline.iter_jsonl())
+        assert len(lines) == timeline.num_events + 1  # header + one per event
+
+
+# ---------------------------------------------------------------------- #
+# Runner integration (timing backends)
+# ---------------------------------------------------------------------- #
+class TestRunnerTiming:
+    def test_run_job_timeline_backend(self):
+        job = run_job(moe_config(), "torch2.3", ranks="all", scale=0.5)
+        assert job.throughput is not None and job.throughput.source == "timeline"
+        assert job.timeline is not None
+        assert job.iteration_seconds > 0
+        assert job.comm_seconds > 0
+        assert 0 < job.bubble_fraction < 1
+        assert 0 < job.mfu < 1
+        data = job.as_dict()
+        for key in ("iteration_seconds", "comm_seconds", "bubble_fraction", "mfu"):
+            assert key in data
+        assert data["timing"] == "timeline"
+
+    def test_run_job_analytical_fallback(self):
+        job = run_job(moe_config(), "torch2.3", ranks="all", scale=0.5, timing="analytical")
+        assert job.throughput is not None and job.throughput.source == "analytical"
+        assert job.timeline is None
+        assert job.comm_seconds == 0.0
+
+    def test_run_job_rejects_unknown_timing(self):
+        with pytest.raises(ValueError, match="timing"):
+            run_job(moe_config(), "torch2.3", timing="psychic")
+
+    def test_timeline_slower_than_analytical_under_skew(self):
+        """The closed form cannot see stragglers, so the timeline's iteration
+        must be the longer one for an imbalanced communicating job."""
+        timeline_job = run_job(moe_config(), "torch2.3", ranks="all", scale=0.5)
+        analytical_job = run_job(
+            moe_config(), "torch2.3", ranks="all", scale=0.5, timing="analytical"
+        )
+        assert timeline_job.iteration_seconds > analytical_job.iteration_seconds
+        assert timeline_job.tflops < analytical_job.tflops
+
+    def test_run_workload_accepts_timing(self, tiny_dense_config):
+        run = run_workload(
+            tiny_dense_config,
+            "torch2.3",
+            with_throughput=True,
+            timing="timeline",
+            scale=0.25,
+        )
+        assert run.throughput is not None and run.throughput.source == "timeline"
+        assert run.as_dict()["timing"] == "timeline"
+        with pytest.raises(ValueError, match="timing"):
+            run_workload(tiny_dense_config, "torch2.3", timing="nope")
+
+
+# ---------------------------------------------------------------------- #
+# Sweep integration: spec, rows, compare
+# ---------------------------------------------------------------------- #
+def tiny_sweep_spec(**overrides) -> SweepSpec:
+    fields = dict(
+        name="tl-test",
+        model="moe-tiny",
+        parallelism={"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        base={"num_microbatches": 2, "micro_batch_size": 1, "moe_imbalance": 0.6},
+        grid={"moe_comm_factor": [0.0, 1.0]},
+        allocators=["torch2.3"],
+        ranks="all",
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+class TestSweepTiming:
+    def test_spec_validates_timing(self):
+        assert tiny_sweep_spec(timing="analytical").timing == "analytical"
+        with pytest.raises(ValueError, match="timing"):
+            tiny_sweep_spec(timing="vibes")
+
+    def test_points_carry_timing_into_cache_payload(self):
+        spec = tiny_sweep_spec(timing="analytical")
+        points = spec.expand()
+        assert all(point.timing == "analytical" for point in points)
+        assert all(
+            point.cache_payload()["timing"] == "analytical" for point in points
+        )
+        # Same grid at the default backend must key differently.
+        default_points = tiny_sweep_spec().expand()
+        assert (
+            default_points[0].cache_payload() != points[0].cache_payload()
+        )
+
+    def test_rows_have_timing_columns_and_monotone_comm(self):
+        result = run_sweep(tiny_sweep_spec())
+        assert result.num_points == 2
+        by_factor = {row["config"]: row for row in result.rows}
+        for row in result.rows:
+            assert row["timing"] == "timeline"
+            for key in ("iteration_seconds", "comm_seconds", "bubble_fraction", "mfu"):
+                assert key in row
+        assert (
+            by_factor["comm=1.0"]["iteration_seconds"]
+            > by_factor["comm=0.0"]["iteration_seconds"]
+        )
+        assert by_factor["comm=1.0"]["comm_seconds"] > 0
+        assert by_factor["comm=0.0"]["comm_seconds"] == 0.0
+
+    def test_timeline_smoke_preset_loads(self):
+        spec = load_spec("timeline-smoke")
+        assert spec.timing == "timeline"
+        assert spec.num_points == 3
+
+    def test_compare_flags_timing_regressions(self):
+        result = run_sweep(tiny_sweep_spec())
+        baseline = result.as_dict()
+        regressed = result.as_dict()
+        import copy
+
+        regressed = copy.deepcopy(regressed)
+        regressed["rows"][0]["iteration_seconds"] *= 1.5
+        report = compare_results(baseline, regressed)
+        assert report.has_regressions
+        assert report.exit_code == 1
+        assert any("iteration_seconds" in reason
+                   for comparison in report.regressions
+                   for reason in comparison.regressions)
+        # mfu moves the other way: shrinking it is the regression.
+        worse_mfu = copy.deepcopy(baseline)
+        worse_mfu["rows"][1]["mfu"] *= 0.5
+        report = compare_results(baseline, worse_mfu)
+        assert report.has_regressions
+
+    def test_compare_never_matches_across_timing_backends(self):
+        """An analytical baseline must not be silently diffed against a
+        timeline run: the identity includes the backend, so the gate reports
+        the schema mismatch instead of bogus metric regressions."""
+        timeline_result = run_sweep(tiny_sweep_spec()).as_dict()
+        analytical_result = run_sweep(tiny_sweep_spec(timing="analytical")).as_dict()
+        report = compare_results(analytical_result, timeline_result)
+        assert report.num_matched == 0
+        assert report.baseline_unmatched
+        assert report.exit_code == 1
+
+
+# ---------------------------------------------------------------------- #
+# device_memory_by_rank as a grid axis
+# ---------------------------------------------------------------------- #
+class TestBudgetAxis:
+    def budget_spec(self, values) -> SweepSpec:
+        return SweepSpec(
+            name="budget-test",
+            model="gpt-tiny",
+            parallelism={"pipeline_parallel": 2, "data_parallel": 2},
+            base={"num_microbatches": 2, "micro_batch_size": 1},
+            grid={"device_memory_by_rank": values},
+            allocators=["torch2.3"],
+            ranks="all",
+        )
+
+    def test_axis_expands_to_labelled_points(self):
+        spec = self.budget_spec([None, {"0": 40}, {"0": 40, "1": 96}])
+        points = spec.expand()
+        assert len(points) == 3
+        labels = [point.row_label for point in points]
+        assert labels == ["mem=uniform", "mem=0:40", "mem=0:40,1:96"]
+        assert points[0].device_memory_by_rank == ()
+        assert points[1].device_memory_by_rank == (("0", 40.0),)
+        assert points[2].device_memory_by_rank == (("0", 40.0), ("1", 96.0))
+        # Distinct budgets must key the result cache differently.
+        payloads = [point.cache_payload() for point in points]
+        assert len({str(sorted(p.items())) for p in payloads}) == 3
+        # ... but budgets never shape traces, so every cell must share one
+        # trace fingerprint (one generation, one cache entry for the axis).
+        fingerprints = {
+            config_fingerprint(point.config, seed=point.seed, scale=point.scale)
+            for point in points
+        }
+        assert len(fingerprints) == 1
+
+    def test_axis_rejects_bad_maps(self):
+        with pytest.raises(ValueError, match="not a rank"):
+            self.budget_spec([{"zero": 40}])
+        with pytest.raises(ValueError, match="positive GiB"):
+            self.budget_spec([{"0": -1}])
+        with pytest.raises(ValueError, match="map rank labels"):
+            self.budget_spec([40])
+
+    def test_axis_rows_report_their_budget(self):
+        spec = self.budget_spec([None, {"0": 40}])
+        rows = [execute_point(point) for point in spec.expand()]
+        assert rows[0]["config"] == "mem=uniform"
+        assert rows[1]["config"] == "mem=0:40"
+        # The capped rank 0 binds at 40 GiB: utilization is only reported
+        # under heterogeneous budgets.
+        assert "binding_utilization" in rows[1]
+        assert "binding_utilization" not in rows[0]
+
+    def test_cached_rows_relabel_for_the_current_point(self, tmp_path):
+        """A spec-level budget map and the same map swept as a grid axis share
+        one measurement (equal cache payloads, equal fingerprints) but not one
+        label -- a warm cache hit must re-label the row for the point asking."""
+        axis_spec = self.budget_spec([{"0": 40}])
+        level_spec = SweepSpec(
+            name="budget-level",
+            model="gpt-tiny",
+            parallelism={"pipeline_parallel": 2, "data_parallel": 2},
+            base={"num_microbatches": 2, "micro_batch_size": 1},
+            allocators=["torch2.3"],
+            ranks="all",
+            device_memory_by_rank={"0": 40},
+        )
+        assert (
+            axis_spec.expand()[0].cache_payload()
+            == level_spec.expand()[0].cache_payload()
+        )
+        first = run_sweep(axis_spec, cache_dir=tmp_path / "cache")
+        second = run_sweep(level_spec, cache_dir=tmp_path / "cache")
+        assert first.rows[0]["config"] == "mem=0:40"
+        assert second.rows[0]["cached"] is True  # the measurement was shared
+        assert second.rows[0]["config"] == level_spec.expand()[0].row_label
+        assert second.rows[0]["config"] != "mem=0:40"
+
+    def test_axis_coexists_with_other_axes(self):
+        spec = self.budget_spec([None, {"0": 40}])
+        spec.grid["micro_batch_size"] = [1, 2]
+        spec = SweepSpec.from_dict(spec.to_dict())
+        points = spec.expand()
+        assert len(points) == 4
+        labels = {point.row_label for point in points}
+        assert "mbs=2/mem=0:40" in labels
+        # The budget half of the label lives on the point, not the config.
+        assert all("mem=" not in point.config.label for point in points)
+
+
+# ---------------------------------------------------------------------- #
+# Result-cache invalidation
+# ---------------------------------------------------------------------- #
+def test_result_key_invalidates_on_timeline_version(tmp_path, monkeypatch):
+    """Cached rows carry simulator-computed timing columns, so a
+    TIMELINE_VERSION bump must rotate every result key (the same contract
+    TRACEGEN_VERSION has through the trace fingerprint)."""
+    from repro.sweep import cache as cache_module
+
+    cache = cache_module.SweepCache(tmp_path)
+    timeline_payload = {"allocator": "torch2.3", "timing": "timeline"}
+    analytical_payload = {"allocator": "torch2.3", "timing": "analytical"}
+    before = cache.result_key("fingerprint", timeline_payload)
+    analytical_before = cache.result_key("fingerprint", analytical_payload)
+    monkeypatch.setattr(
+        cache_module, "TIMELINE_VERSION", cache_module.TIMELINE_VERSION + 1
+    )
+    assert cache.result_key("fingerprint", timeline_payload) != before
+    # Analytical rows never touch the simulator: their keys must survive.
+    assert cache.result_key("fingerprint", analytical_payload) == analytical_before
+
+
+# ---------------------------------------------------------------------- #
+# GPU spec single source of truth
+# ---------------------------------------------------------------------- #
+class TestGpuSpecs:
+    def test_device_presets_match_specs(self):
+        for preset, name in [
+            (a800_80gb, "A800-80GB"),
+            (h200_141gb, "H200-141GB"),
+            (mi210_64gb, "MI210-64GB"),
+        ]:
+            device = preset()
+            assert device.name == name
+            assert device.capacity == GPU_SPECS[name].memory_gib * GIB
+
+    def test_throughput_module_reexports_the_same_objects(self):
+        assert throughput_module.GPU_SPECS is GPU_SPECS
+        for name, spec in GPU_SPECS.items():
+            assert throughput_module.GPU_SPECS[name] is spec
+
+    def test_device_from_spec_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown GPU"):
+            device_from_spec("TPU-v9")
+        with pytest.raises(ValueError, match="unknown GPU"):
+            get_gpu("TPU-v9")
+
+    def test_get_gpu_passes_specs_through(self):
+        spec = GPU_SPECS["A800-80GB"]
+        assert get_gpu(spec) is spec
