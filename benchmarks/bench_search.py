@@ -1,0 +1,61 @@
+"""Benchmarks for the auto-parallelism search planner.
+
+The planner's value proposition is quantified directly: the pruned search
+must return the same best config as the exhaustive oracle while evaluating
+a fraction of the candidate grid (and, cold-for-cold, in a fraction of the
+wall time).  ``BENCH_search.json`` records the measured trajectory — see
+that file for the numbers shipped with each version.
+"""
+
+from __future__ import annotations
+
+from repro.search import load_search_spec, run_search
+
+
+def _search(preset: str, tmp_path, *, exhaustive: bool):
+    spec = load_search_spec(preset)
+    tag = "exhaustive" if exhaustive else "pruned"
+    return run_search(
+        spec,
+        cache_dir=tmp_path / f"{preset}-{tag}",
+        reuse_results=False,
+        exhaustive=exhaustive,
+    )
+
+
+def test_search_gpt_tiny_pruned(benchmark, tmp_path):
+    """Cold pruned search: bounds kill most of the grid before pricing."""
+    result = benchmark.pedantic(
+        lambda: _search("gpt-tiny", tmp_path, exhaustive=False), rounds=1, iterations=1
+    )
+    assert result.best is not None
+    assert result.evaluated <= result.candidates_total / 2
+
+
+def test_search_gpt_tiny_exhaustive(benchmark, tmp_path):
+    """Cold exhaustive oracle over the same grid: the cost pruning avoids."""
+    result = benchmark.pedantic(
+        lambda: _search("gpt-tiny", tmp_path, exhaustive=True), rounds=1, iterations=1
+    )
+    assert result.best is not None
+    assert result.evaluated == result.candidates_total
+
+
+def test_search_moe_tiny_pruned(benchmark, tmp_path):
+    """MoE search: the memory bound alone carries the pruning."""
+    result = benchmark.pedantic(
+        lambda: _search("moe-tiny", tmp_path, exhaustive=False), rounds=1, iterations=1
+    )
+    assert result.best is not None
+    assert result.pruned_by_memory > 0
+
+
+def test_search_cached_rerun(benchmark, tmp_path):
+    """Warm rerun of the pruned search: every priced row is cache-served."""
+    spec = load_search_spec("gpt-tiny")
+    cache_dir = tmp_path / "warm"
+    run_search(spec, cache_dir=cache_dir)  # prime every cache layer
+    result = benchmark.pedantic(
+        lambda: run_search(spec, cache_dir=cache_dir), rounds=3, iterations=1
+    )
+    assert result.cache_stats["cached_rows"] == result.evaluated

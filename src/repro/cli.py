@@ -14,6 +14,11 @@ Usage::
     stalloc-repro sweep quick-grid --timing analytical      # closed-form timing fallback
     stalloc-repro sweep ep-smoke --cache-max-gib 1          # cap the cache inline
     stalloc-repro sweep --list
+    stalloc-repro search gpt-tiny                           # preset search
+    stalloc-repro search moe-tiny --exhaustive              # no pruning (the oracle)
+    stalloc-repro search gpt-tiny 4xA800-80GB@0.5 --global-batch 8
+    stalloc-repro search search-smoke --compare baseline.json  # CI regression gate
+    stalloc-repro search --list
     stalloc-repro cache prune --max-gib 2
 """
 
@@ -144,6 +149,113 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep_parser.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="relative change a metric may move before --compare flags it (default: 0)",
+    )
+
+    search_parser = subparsers.add_parser(
+        "search",
+        help="search the config space for the fastest configuration that fits",
+    )
+    search_parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help=(
+            "search preset name, path to a JSON search spec, or a model name "
+            "(then a cluster argument is required)"
+        ),
+    )
+    search_parser.add_argument(
+        "cluster",
+        nargs="?",
+        default=None,
+        help=(
+            "cluster description '<N>x<DEVICE>[@<GiB>]' (e.g. 8xA800-80GB@40) "
+            "when the first argument is a model name"
+        ),
+    )
+    search_parser.add_argument(
+        "--list", action="store_true", dest="list_presets", help="list available search presets"
+    )
+    search_parser.add_argument(
+        "--global-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="sequences per optimizer step for model+cluster searches (default: %(default)s)",
+    )
+    search_parser.add_argument(
+        "--allocators",
+        nargs="+",
+        default=["torch2.3", "stalloc"],
+        metavar="NAME",
+        help="allocators to price for model+cluster searches (default: %(default)s)",
+    )
+    search_parser.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="disable both prunes and evaluate the full candidate grid (the oracle)",
+    )
+    search_parser.add_argument(
+        "--cache-dir",
+        default=".stalloc-repro-cache",
+        metavar="DIR",
+        help="persistent trace/plan/result cache directory (default: %(default)s)",
+    )
+    search_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent cache for this search",
+    )
+    search_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute result rows even when cached (traces/plans are still reused)",
+    )
+    search_parser.add_argument(
+        "--output",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="write the search result to PATH (.json or .csv); repeatable",
+    )
+    search_parser.add_argument(
+        "--timing",
+        choices=["timeline", "analytical"],
+        default=None,
+        help="timing backend for the throughput columns (default: what the spec selects)",
+    )
+    search_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=40,
+        metavar="N",
+        help="rows to print to stdout (default: %(default)s; outputs always get all rows)",
+    )
+    search_parser.add_argument(
+        "--cache-max-gib",
+        type=float,
+        default=None,
+        metavar="X",
+        help="cap the persistent cache during the search (LRU-evict past X GiB)",
+    )
+    search_parser.add_argument(
+        "--compare",
+        nargs="+",
+        default=None,
+        metavar="RESULTS.json",
+        help=(
+            "with one file: diff the search's ranked rows against that previous "
+            "results JSON file; with two files: diff them against each other "
+            "without running any search. Exits non-zero on regressions "
+            "(rank shifts, peak memory up, throughput down, ok -> OOM)"
+        ),
+    )
+    search_parser.add_argument(
         "--tolerance-pct",
         type=float,
         default=0.0,
@@ -286,6 +398,111 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_search(args) -> int:
+    from repro.search import (
+        SearchSpec,
+        available_search_presets,
+        load_search_spec,
+        run_search,
+    )
+    from repro.sweep import SweepResult, compare_files, compare_results
+
+    if args.list_presets:
+        for preset in available_search_presets():
+            print(preset)
+        return 0
+    if args.compare is not None and len(args.compare) > 2:
+        print(
+            f"error: --compare takes one or two results files, got {len(args.compare)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compare is not None and len(args.compare) == 2:
+        # Dual-file mode: diff two saved results files, run nothing.
+        if args.spec is not None:
+            print(
+                "error: a spec cannot be combined with two-file --compare "
+                "(the files are compared without running a search)",
+                file=sys.stderr,
+            )
+            return 2
+        old_path, new_path = args.compare
+        try:
+            report = compare_files(old_path, new_path, tolerance_pct=args.tolerance_pct)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot compare results files: {error}", file=sys.stderr)
+            return 2
+        print(report.to_text())
+        return report.exit_code
+    if args.spec is None:
+        print(
+            "error: a search spec (preset name, JSON file, or model + cluster) is required",
+            file=sys.stderr,
+        )
+        return 2
+    bad_outputs = [o for o in args.output if not o.lower().endswith((".json", ".csv"))]
+    if bad_outputs:
+        print(
+            f"error: unsupported --output extension for {', '.join(bad_outputs)}; "
+            "use .json or .csv",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.cluster is not None:
+            # Model + cluster form: build a default spec around the model.
+            spec = SearchSpec(
+                name=f"search-{args.spec}",
+                model=args.spec,
+                cluster=args.cluster,
+                global_batch=args.global_batch,
+                allocators=list(args.allocators),
+            )
+        else:
+            spec = load_search_spec(args.spec)
+    except (ValueError, FileNotFoundError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.timing is not None:
+        spec.timing = args.timing
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = SweepResult.load(args.compare[0])
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load --compare baseline: {error}", file=sys.stderr)
+            return 2
+    if args.cache_max_gib is not None and args.cache_max_gib < 0:
+        print(
+            f"error: --cache-max-gib must be >= 0, got {args.cache_max_gib}",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = None if args.no_cache else args.cache_dir
+    cache_max_bytes = (
+        int(args.cache_max_gib * (1 << 30)) if args.cache_max_gib is not None else None
+    )
+    result = run_search(
+        spec,
+        cache_dir=cache_dir,
+        reuse_results=not args.fresh,
+        cache_max_bytes=cache_max_bytes,
+        exhaustive=args.exhaustive,
+    )
+    for output in args.output:
+        result.write(output)
+        print(f"wrote {output}", file=sys.stderr)
+    print(result.to_text(max_rows=args.max_rows if args.max_rows >= 0 else None))
+    if baseline is not None:
+        report = compare_results(
+            baseline, result.as_sweep_result(), tolerance_pct=args.tolerance_pct
+        )
+        print()
+        print(report.to_text())
+        return report.exit_code
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.sweep import SweepCache
 
@@ -324,6 +541,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _cmd_sweep(args)
+
+    if args.command == "search":
+        return _cmd_search(args)
 
     if args.command == "cache":
         return _cmd_cache(args)

@@ -1,0 +1,43 @@
+"""Auto-parallelism search: find the fastest configuration that fits.
+
+The planner closes the loop the sweep subsystem leaves open: instead of
+scoring a user-supplied grid, it derives the legal candidate space from the
+model's divisibility constraints and a cluster description, kills candidates
+whose admissible memory lower bound already exceeds their device budgets
+before any trace is generated, and branch-and-bounds the survivors on an
+admissible throughput bound while pricing them through the ordinary sweep
+engine (same rows, same cache, same compare gate).
+"""
+
+from repro.search.bounds import (
+    memory_lower_bound,
+    persistent_bytes_floor,
+    scoped_layer_bytes_floor,
+    throughput_upper_bound,
+    time_floor_seconds,
+)
+from repro.search.cluster import ClusterSpec
+from repro.search.planner import SEARCH_VERSION, SearchResult, run_search, search_points
+from repro.search.presets import (
+    SEARCH_PRESETS,
+    available_search_presets,
+    load_search_spec,
+)
+from repro.search.space import SearchSpec
+
+__all__ = [
+    "ClusterSpec",
+    "SEARCH_PRESETS",
+    "SEARCH_VERSION",
+    "SearchResult",
+    "SearchSpec",
+    "available_search_presets",
+    "load_search_spec",
+    "memory_lower_bound",
+    "persistent_bytes_floor",
+    "run_search",
+    "scoped_layer_bytes_floor",
+    "search_points",
+    "throughput_upper_bound",
+    "time_floor_seconds",
+]

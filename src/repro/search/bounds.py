@@ -1,0 +1,162 @@
+"""Admissible lower bounds that prune search candidates before pricing them.
+
+Two bounds, both *sound* with respect to what the simulator would measure:
+
+* :func:`memory_lower_bound` -- bytes every allocator must hold live
+  simultaneously on a rank at the steady-state peak, computed from the
+  :class:`~repro.workloads.memory_model.MemoryModel` inventory alone (no trace
+  generation).  It undercounts on purpose: boundary activations, logits,
+  dynamic expert tensors, communication buffers and transients are all
+  excluded, and every jitterable size is taken at the *minimum* jitter factor
+  the generator can apply.  Therefore ``bound <= peak_allocated <=
+  peak_reserved`` for every allocator, and ``bound > capacity`` proves the
+  candidate OOMs everywhere -- the pre-tracegen kill the tentpole asks for.
+
+* :func:`time_floor_seconds` -- the compute-bound step time of the analytical
+  model with the pipeline-bubble and straggler terms dropped.  Both timing
+  backends charge at least this much (the timeline simulator schedules the
+  same per-phase compute costs and can only *add* waiting), so
+  :func:`throughput_upper_bound` (tokens per iteration over the floor) is an
+  admissible branch-and-bound bound on ``tokens_per_second``.
+
+Soundness of both bounds against the real backends is property-tested in
+``tests/test_search.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import TensorCategory
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.simulator.throughput import ThroughputModel
+from repro.workloads.memory_model import MemoryModel, TensorSpec
+from repro.workloads.tracegen import TraceGenerator
+from repro.workloads.training import TrainingConfig
+
+#: The smallest factor the generator's size jitter can shrink an
+#: activation-like tensor by; the floor prices every jitterable tensor at it.
+_MIN_JITTER = min(TraceGenerator.DEFAULT_SIZE_JITTER)
+
+#: Categories the generator jitters (see ``TraceGenerator._jitter``).
+_JITTERED = (
+    TensorCategory.ACTIVATION,
+    TensorCategory.TEMPORARY,
+    TensorCategory.EXPERT_ACTIVATION,
+)
+
+
+def _jitter_floor(spec: TensorSpec) -> int:
+    """Smallest size the generator can emit for ``spec`` in a micro-batch."""
+    if spec.category not in _JITTERED:
+        return spec.size
+    # Mirrors TraceGenerator._jitter's rounding exactly, at the minimum factor.
+    return max(512, ((int(spec.size * _MIN_JITTER) + 511) // 512) * 512)
+
+
+def _scaled_chunk_layers(config: TrainingConfig, scale: float) -> int:
+    """Layers one virtual-pipeline chunk emits under the ``scale`` knob."""
+    full = config.parallelism.layers_per_chunk(config.model.num_layers)
+    return max(1, round(full * scale))
+
+
+def persistent_bytes_floor(
+    config: TrainingConfig, *, rank: int = 0, ep_rank: int = 0, scale: float = 1.0
+) -> int:
+    """Exact persistent (INIT-phase) bytes a rank allocates.
+
+    Replicates ``TraceGenerator._emit_init``: layer-tagged specs beyond the
+    scaled layer count are dropped, and ZeRO-3 shards WEIGHT specs across the
+    data-parallel group.  Persistent tensors are never jittered, so this term
+    is exact, not merely a lower bound.
+    """
+    memory = MemoryModel(config, rank=rank, ep_rank=ep_rank)
+    parallelism = config.parallelism
+    scale_layers = _scaled_chunk_layers(config, scale) * parallelism.virtual_pipeline_chunks
+    full_layers = parallelism.layers_per_rank(config.model.num_layers)
+    total = 0
+    for spec in memory.persistent_tensors():
+        if spec.tag.startswith("layer"):
+            layer_index = int(spec.tag.split(".")[0][len("layer"):])
+            if layer_index >= scale_layers and full_layers > scale_layers:
+                continue
+        if config.zero_stage >= 3 and spec.category is TensorCategory.WEIGHT:
+            total += max(512, spec.size // parallelism.data_parallel)
+        else:
+            total += spec.size
+    return total
+
+
+def scoped_layer_bytes_floor(
+    config: TrainingConfig, *, rank: int = 0, ep_rank: int = 0
+) -> int:
+    """Minimum bytes one layer of one in-flight micro-batch keeps saved.
+
+    Under recomputation or offloading only the layer-input checkpoint
+    survives the forward pass; otherwise the dense saved activations (minus
+    the expert-replaced ``mlp*`` tensors for MoE models) plus the
+    routing-independent MoE tensors do.  Dynamic expert tensors and
+    all-to-all buffers are excluded -- they can transiently be freed --
+    keeping the bound admissible.
+    """
+    memory = MemoryModel(config, rank=rank, ep_rank=ep_rank)
+    if config.recompute or config.offload_activations:
+        specs = memory.recompute_checkpoint_tensors()
+    else:
+        specs = memory.saved_activation_tensors()
+        if config.model.is_moe:
+            specs = [spec for spec in specs if not spec.tag.startswith("mlp")]
+            specs = specs + memory.moe_static_tensors()
+    return sum(_jitter_floor(spec) for spec in specs)
+
+
+def memory_lower_bound(
+    config: TrainingConfig, *, rank: int = 0, ep_rank: int = 0, scale: float = 1.0
+) -> int:
+    """Bytes every allocator must hold live at once on ``rank``.
+
+    ``persistent + in_flight_microbatch_chunks * layers_per_chunk *
+    per_layer_floor``: at the 1F1B / interleaved steady state the schedule
+    keeps ``in_flight_microbatches`` forward chunks un-backwarded, and each
+    holds its saved activations for every layer of the chunk.  Everything
+    else a real trace allocates on top (boundary buffers, logits, experts,
+    comm, transients) only raises the true peak.
+    """
+    persistent = persistent_bytes_floor(config, rank=rank, ep_rank=ep_rank, scale=scale)
+    in_flight = config.parallelism.in_flight_microbatches(rank, config.num_microbatches)
+    per_layer = scoped_layer_bytes_floor(config, rank=rank, ep_rank=ep_rank)
+    return persistent + in_flight * _scaled_chunk_layers(config, scale) * per_layer
+
+
+def time_floor_seconds(config: TrainingConfig, gpu: GPUSpec | str) -> float:
+    """Seconds one iteration takes at best, for either timing backend.
+
+    The analytical model's compute term with its compute/communication
+    multipliers but *without* the pipeline-bubble divisor or allocator
+    overhead; the timeline backend schedules the same per-phase costs and can
+    only add stalls on top.  Independent of ``scale`` (both backends price
+    the full model regardless of the trace down-scaling knob).
+    """
+    gpu = get_gpu(gpu)
+    model = ThroughputModel(gpu)
+    per_gpu_flops = model.model_flops_per_iteration(config) / config.parallelism.num_gpus
+    return (
+        per_gpu_flops
+        * model.compute_multiplier(config)
+        * model.communication_multiplier(config)
+        / gpu.achievable_flops
+    )
+
+
+def throughput_upper_bound(config: TrainingConfig, gpu: GPUSpec | str) -> float:
+    """Admissible upper bound on ``tokens_per_second`` for the candidate.
+
+    Infinite (bound disabled, the candidate is never pruned on time) when the
+    device is unknown or the model somehow prices to a zero floor -- an
+    unusable bound must fail open, not kill candidates.
+    """
+    try:
+        floor = time_floor_seconds(config, gpu)
+    except ValueError:
+        return float("inf")
+    if floor <= 0:
+        return float("inf")
+    return config.tokens_per_iteration / floor

@@ -1,0 +1,156 @@
+"""Cluster descriptions for the auto-parallelism search planner.
+
+A :class:`ClusterSpec` names the hardware a searched job must fit on: the
+device type (one of the testbed accelerators in
+:data:`repro.gpu.specs.GPU_SPECS` -- the search needs both the memory budget
+and the compute/bandwidth ceilings, so unknown devices are rejected), the
+number of devices, and optionally a uniform capacity override or a
+heterogeneous per-rank budget map.
+
+The compact string form the CLI accepts is ``<N>x<DEVICE>[@<GiB>]``::
+
+    8xA800-80GB          # 8 devices at the spec's 80 GiB
+    8xA800-80GB@40       # same devices capped at 40 GiB each
+    4xH200-141GB
+
+Budget maps (different budgets per rank) are only expressible through the
+JSON/dict form: ``{"devices": "8xA800-80GB", "device_memory_by_rank":
+{"0": 40, "1": 96}}``.  Budget-map keys address *logical* pipeline stages
+(``"2"``) or ``pp.ep`` coordinates (``"2.1"``) -- the same addressing sweep
+specs use.  Because the search varies the pipeline/expert degrees per
+candidate, entries whose stage or coordinate does not exist under a
+candidate's layout are simply ignored for that candidate (they address a
+logical slot the candidate does not have), rather than invalidating the
+candidate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gpu.specs import GPU_SPECS, GPUSpec, get_gpu
+from repro.simulator.runner import validate_capacity_gib
+from repro.sweep.spec import _validate_budget_map
+
+#: ``8xA800-80GB`` / ``8xA800-80GB@40`` -- count, device name, optional GiB.
+_CLUSTER_RE = re.compile(r"^(?P<count>\d+)x(?P<device>[^@]+?)(?:@(?P<gib>[0-9.]+))?$")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The hardware one search targets."""
+
+    device_name: str
+    num_devices: int
+    #: Uniform per-device budget override in GiB (None = the device spec's).
+    device_capacity_gib: float | None = None
+    #: Heterogeneous per-rank budgets as sorted ``(rank label, GiB)`` pairs
+    #: (hashable); empty means every rank gets the uniform budget.
+    device_memory_by_rank: tuple[tuple[str, float], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        get_gpu(self.device_name)  # raises for unknown devices
+        if not isinstance(self.num_devices, int) or isinstance(self.num_devices, bool) \
+                or self.num_devices < 1:
+            raise ValueError(f"num_devices must be a positive int, got {self.num_devices!r}")
+        validate_capacity_gib(self.device_capacity_gib)
+        if self.device_memory_by_rank:
+            _validate_budget_map(dict(self.device_memory_by_rank), "device_memory_by_rank")
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return GPU_SPECS[self.device_name]
+
+    @property
+    def capacity_gib(self) -> float:
+        """Per-device budget in GiB the search prunes against (the uniform one)."""
+        if self.device_capacity_gib is not None:
+            return self.device_capacity_gib
+        return float(self.gpu.memory_gib)
+
+    def budget_map(self) -> dict[str, float]:
+        return {label: gib for label, gib in self.device_memory_by_rank}
+
+    @property
+    def label(self) -> str:
+        """The compact ``<N>x<DEVICE>[@<GiB>]`` rendering."""
+        text = f"{self.num_devices}x{self.device_name}"
+        if self.device_capacity_gib is not None:
+            text += f"@{self.device_capacity_gib:g}"
+        return text
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: str) -> "ClusterSpec":
+        """Parse the compact ``<N>x<DEVICE>[@<GiB>]`` cluster string."""
+        match = _CLUSTER_RE.match(text.strip())
+        if not match:
+            raise ValueError(
+                f"cannot parse cluster {text!r}; expected '<N>x<DEVICE>[@<GiB>]' "
+                f"like '8xA800-80GB' or '8xA800-80GB@40'"
+            )
+        capacity = match.group("gib")
+        return cls(
+            device_name=match.group("device"),
+            num_devices=int(match.group("count")),
+            device_capacity_gib=float(capacity) if capacity is not None else None,
+        )
+
+    @classmethod
+    def from_dict(cls, data) -> "ClusterSpec":
+        """Build from the JSON forms: a cluster string or a mapping.
+
+        The mapping form accepts ``{"devices": "8xA800-80GB@40"}`` (the
+        compact string under a key) plus an optional ``device_memory_by_rank``
+        budget map, or the explicit fields ``device_name`` / ``num_devices`` /
+        ``device_capacity_gib``.
+        """
+        if isinstance(data, ClusterSpec):
+            return data
+        if isinstance(data, str):
+            return cls.parse(data)
+        if not isinstance(data, dict):
+            raise ValueError(f"cluster must be a string or mapping, got {data!r}")
+        data = dict(data)
+        budgets = data.pop("device_memory_by_rank", None) or {}
+        if "devices" in data:
+            base = cls.parse(data.pop("devices"))
+            if data:
+                raise ValueError(
+                    f"unknown cluster fields next to 'devices': {', '.join(sorted(data))}"
+                )
+            device_name = base.device_name
+            num_devices = base.num_devices
+            capacity = base.device_capacity_gib
+        else:
+            unknown = set(data) - {"device_name", "num_devices", "device_capacity_gib"}
+            if unknown:
+                raise ValueError(f"unknown cluster fields: {', '.join(sorted(unknown))}")
+            device_name = data.get("device_name", "A800-80GB")
+            num_devices = data.get("num_devices", 1)
+            capacity = data.get("device_capacity_gib")
+        return cls(
+            device_name=device_name,
+            num_devices=num_devices,
+            device_capacity_gib=capacity,
+            device_memory_by_rank=tuple(
+                sorted((str(key), float(value)) for key, value in budgets.items())
+            ),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ClusterSpec":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def to_dict(self) -> dict:
+        return {
+            "device_name": self.device_name,
+            "num_devices": self.num_devices,
+            "device_capacity_gib": self.device_capacity_gib,
+            "device_memory_by_rank": self.budget_map(),
+        }

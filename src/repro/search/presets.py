@@ -1,0 +1,76 @@
+"""Named search specifications.
+
+``stalloc-repro search <name>`` resolves here first (then falls back to JSON
+spec files, then to building a default spec from a model name + cluster
+string).  The per-preset cluster budgets are deliberately tight for the tiny
+models: they sit between the lower bounds of the skinny and the fat layouts so
+the memory prune has real work to do, which is exactly what the acceptance
+contract (same argmin as the exhaustive sweep while evaluating at most half
+the grid) exercises.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.search.space import SearchSpec
+
+#: Ready-made search specs; budgets are tuned against the tiny models so both
+#: prune stages fire while the true optimum always survives to evaluation.
+SEARCH_PRESETS: dict[str, dict] = {
+    # Dense search: 8 layouts x 2 micro-batch sizes x recompute on/off.
+    "gpt-tiny": {
+        "name": "gpt-tiny",
+        "model": "gpt-tiny",
+        "cluster": "8xA800-80GB@0.06",
+        "global_batch": 16,
+        "allocators": ["torch2.3", "stalloc"],
+        "micro_batch_sizes": [1, 2],
+        "recompute": [False, True],
+    },
+    # MoE search: expert-parallel degrees are part of the space; tp is pinned
+    # (heads=8 would otherwise explode the grid) and the budget squeezes the
+    # expert-dense low-EP layouts out.
+    "moe-tiny": {
+        "name": "moe-tiny",
+        "model": "moe-tiny",
+        "cluster": "8xA800-80GB@0.35",
+        "global_batch": 8,
+        "allocators": ["torch2.3", "stalloc"],
+        "micro_batch_sizes": [1],
+        "tensor_parallel": [1],
+        "pipeline_parallel": [1, 2],
+        "recompute": [False],
+    },
+    # CI smoke: a 4-device dense search small enough for the compare gate.
+    "search-smoke": {
+        "name": "search-smoke",
+        "model": "gpt-tiny",
+        "cluster": "4xA800-80GB@0.25",
+        "global_batch": 8,
+        "allocators": ["torch2.3", "stalloc"],
+        "micro_batch_sizes": [1, 2],
+        "recompute": [False, True],
+    },
+}
+
+
+def available_search_presets() -> list[str]:
+    """Names accepted by :func:`load_search_spec` (besides JSON file paths)."""
+    return sorted(SEARCH_PRESETS)
+
+
+def load_search_spec(name_or_path: str | Path) -> SearchSpec:
+    """Resolve a preset name or a path to a JSON search spec file."""
+    name = str(name_or_path)
+    if name in SEARCH_PRESETS:
+        return SearchSpec.from_dict(SEARCH_PRESETS[name])
+    path = Path(name_or_path)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            raise FileNotFoundError(f"search spec file not found: {path}")
+        return SearchSpec.from_file(path)
+    raise ValueError(
+        f"unknown search preset {name!r} (and no such file); available presets: "
+        f"{', '.join(available_search_presets())}"
+    )

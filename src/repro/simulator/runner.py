@@ -30,6 +30,8 @@ from repro.allocators.base import Allocator
 from repro.allocators.registry import available_allocators, create_allocator
 from repro.core.stalloc import STAlloc, STAllocConfig
 from repro.gpu.device import Device, GIB
+from repro.gpu.errors import OutOfMemoryError
+from repro.simulator.metrics import MemoryMetrics
 from repro.simulator.replay import ReplayResult, replay_trace
 from repro.simulator.throughput import GPU_SPECS, ThroughputEstimate, ThroughputModel
 from repro.workloads.parallelism import normalize_rank, rank_label
@@ -307,6 +309,21 @@ def _default_capacity_gib(device_name: str, device_capacity_gib: float | None) -
     return gpu.memory_gib if gpu else 80
 
 
+def validate_capacity_gib(value, context: str = "device_capacity_gib") -> float | None:
+    """Reject non-positive / non-numeric device budgets (None passes through).
+
+    The sweep-spec loader already enforces this for budgets arriving through
+    JSON specs (``spec.py``); this guards the direct-API entry points so
+    ``run_job(device_capacity_gib=0)`` fails loudly instead of producing a
+    zero-byte device that every allocator trivially OOMs against.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise ValueError(f"{context} must be a positive GiB value, got {value!r}")
+    return float(value)
+
+
 def _stalloc_config(name: str, overrides: dict | None) -> STAllocConfig:
     """STAllocConfig for one of the runner-level stalloc variants."""
     params = dict(overrides or {})
@@ -374,6 +391,7 @@ def run_workload(
     cache.
     """
     validate_timing(timing)
+    device_capacity_gib = validate_capacity_gib(device_capacity_gib)
     if not isinstance(rank, int):
         rank, ep_rank = normalize_rank(rank)
     if trace is None:
@@ -383,9 +401,32 @@ def run_workload(
     gpu = GPU_SPECS.get(device_name)
     capacity_gib = _default_capacity_gib(device_name, device_capacity_gib)
     device = Device(name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0)
-    allocator, planning_report = _build_allocator(
-        allocator_name, device, trace, stalloc_overrides, cache=cache
-    )
+    try:
+        allocator, planning_report = _build_allocator(
+            allocator_name, device, trace, stalloc_overrides, cache=cache
+        )
+    except OutOfMemoryError as oom:
+        # STAlloc's static-pool reservation can itself exceed a small device
+        # budget.  A real job dies at startup the same way it dies mid-step,
+        # so this is an OOM *result* (failed before any event replayed,
+        # ``oom_at_event=-1``), not an orchestration error to propagate.
+        replay = ReplayResult(
+            allocator_name=allocator_name,
+            metrics=MemoryMetrics(peak_allocated_bytes=0, peak_reserved_bytes=0),
+            success=False,
+            oom_at_event=-1,
+            oom_request_bytes=oom.requested,
+        )
+        return WorkloadRun(
+            config=config,
+            allocator_name=allocator_name,
+            replay=replay,
+            device_name=device_name,
+            rank=rank,
+            ep_rank=ep_rank,
+            planning_report={},
+            comm_peak_bytes=trace.comm_peak_bytes(),
+        )
     replay = replay_trace(trace, allocator)
     throughput = None
     if with_throughput and gpu is not None:
@@ -574,9 +615,7 @@ def _normalize_capacity_map(
     expert = config.parallelism.expert_parallel
     normalized: dict[str, float] = {}
     for key, value in device_memory_by_rank.items():
-        capacity = float(value)
-        if capacity <= 0:
-            raise ValueError(f"device memory for rank {key!r} must be > 0, got {value}")
+        capacity = validate_capacity_gib(value, context=f"device memory for rank {key!r}")
         label = key if isinstance(key, str) else rank_label(key)
         parts = label.split(".")
         if len(parts) not in (1, 2) or not all(part.isdigit() for part in parts):
@@ -646,11 +685,35 @@ def _split_classes_by_capacity(
         by_capacity: dict[float | None, list] = {}
         for rank in cls:
             by_capacity.setdefault(_rank_capacity(rank, capacity_map, default), []).append(rank)
+        # Sort on (has-no-budget, budget, first member): capacities first so
+        # that budget-less groups (capacity None) always trail, never mixing
+        # None into a numeric comparison, and the first member breaks ties
+        # deterministically.  The previous key compared a rank (int or tuple)
+        # against the empty tuple -- a latent TypeError for int-ranked classes.
         for capacity, members in sorted(
-            by_capacity.items(), key=lambda item: item[1][0] if item[1] else ()
+            by_capacity.items(),
+            key=lambda item: (
+                item[0] is None,
+                item[0] if item[0] is not None else 0.0,
+                item[1][0],
+            ),
         ):
             refined.append((tuple(members), capacity))
     return refined
+
+
+def _budget_utilization(peak_gib: float, capacity: float | None) -> float:
+    """Fraction of a rank's device budget its peak consumes.
+
+    A class without a budget (``capacity is None``) never binds on
+    utilization; a *zero* budget is maximally binding (infinite utilization),
+    not invisible -- the distinction the old truthiness checks collapsed.
+    """
+    if capacity is None:
+        return 0.0
+    if capacity == 0:
+        return float("inf")
+    return peak_gib / capacity
 
 
 @dataclass
@@ -719,10 +782,10 @@ class JobRun:
         """
         peaks = [run.replay.metrics.peak_allocated_gib for run in self.class_runs]
         if self.heterogeneous_budgets:
-            capacities = [
-                capacity if capacity else float("inf") for capacity in self.class_capacities
+            utilizations = [
+                _budget_utilization(peak, capacity)
+                for peak, capacity in zip(peaks, self.class_capacities)
             ]
-            utilizations = [peak / capacity for peak, capacity in zip(peaks, capacities)]
             return max(range(len(peaks)), key=utilizations.__getitem__)
         return max(range(len(peaks)), key=peaks.__getitem__)
 
@@ -741,9 +804,11 @@ class JobRun:
         index = self.binding_class_index
         capacities = self.class_capacities
         capacity = capacities[index] if index < len(capacities) else None
-        if not capacity:
+        if capacity is None:
             return None
-        return self.class_runs[index].replay.metrics.peak_allocated_gib / capacity
+        return _budget_utilization(
+            self.class_runs[index].replay.metrics.peak_allocated_gib, capacity
+        )
 
     @property
     def peak_allocated_gib(self) -> float:
@@ -906,6 +971,7 @@ def run_job(
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
     validate_timing(timing)
+    device_capacity_gib = validate_capacity_gib(device_capacity_gib)
     capacity_map = _normalize_capacity_map(device_memory_by_rank, config)
     classes = resolve_job_ranks(config, ranks)
     if any("." in label for label in capacity_map):

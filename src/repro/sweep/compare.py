@@ -48,6 +48,7 @@ METRIC_DIRECTIONS: dict[str, int] = {
     "bubble_fraction": +1,
     "mfu": -1,
     "binding_rank": 0,
+    "search_rank": +1,
 }
 
 
@@ -168,7 +169,10 @@ def _is_regression(column: str, old, new, tolerance_pct: float) -> bool:
     direction = METRIC_DIRECTIONS.get(column, 0)
     if direction == 0:
         return False
-    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)) \
+            or isinstance(old, bool) or isinstance(new, bool):
+        # Mirror _values_differ: booleans are not numerics here -- a
+        # boolean-valued metric column must not be diffed as 0/1 arithmetic.
         return False
     return direction * (new - old) > abs(old) * tolerance_pct / 100.0 + 1e-12
 

@@ -506,7 +506,7 @@ class TestHeterogeneousBudgets:
 
     def test_invalid_budgets_rejected(self):
         config = _moe_config()
-        with pytest.raises(ValueError, match="must be > 0"):
+        with pytest.raises(ValueError, match="positive GiB value"):
             run_job(config, "native", ranks="all", device_memory_by_rank={"0": 0})
         with pytest.raises(ValueError, match="out of range"):
             run_job(config, "native", ranks="all", device_memory_by_rank={"9": 40})

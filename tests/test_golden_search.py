@@ -1,0 +1,112 @@
+"""Golden best-config regression fixtures for the search planner.
+
+``tests/fixtures/golden_search.json`` pins, for every search preset, the
+winning configuration and the planner's prune accounting.  Any change to the
+candidate enumeration, the pruning bounds, or the ranking -- intentional or
+not -- flips an entry and fails these tests with a diff of what moved, so the
+planner cannot silently start returning a different "best" config.
+
+When a change is intentional, bump ``SEARCH_VERSION`` (result files and this
+fixture key on it) and regenerate::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_search.py
+
+then commit the updated ``golden_search.json`` together with the planner
+change.  The fixture records the search version it was built with, so a
+version bump without regenerated fixtures fails loudly too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.search import SEARCH_VERSION, available_search_presets, load_search_spec, run_search
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_search.json"
+
+REGEN_HINT = (
+    "If this change to the search planner is intentional: bump SEARCH_VERSION in "
+    "src/repro/search/planner.py, regenerate the fixtures with `REGEN_GOLDEN=1 "
+    "PYTHONPATH=src python -m pytest tests/test_golden_search.py`, and commit "
+    "tests/fixtures/golden_search.json with the planner change."
+)
+
+
+def _generate_entry(preset: str) -> dict:
+    result = run_search(load_search_spec(preset), cache_dir=None)
+    best = result.best
+    return {
+        "search_version": SEARCH_VERSION,
+        "best_config": best["config"] if best else None,
+        "best_allocator": best["allocator"] if best else None,
+        "best_tokens_per_second": round(best["tokens_per_second"], 3) if best else None,
+        "candidates_total": result.candidates_total,
+        "pruned_by_memory": result.pruned_by_memory,
+        "pruned_by_bound": result.pruned_by_bound,
+        "evaluated": result.evaluated,
+    }
+
+
+def _load_fixtures() -> dict:
+    if not FIXTURE_PATH.exists():
+        pytest.fail(
+            f"golden fixture file {FIXTURE_PATH} is missing. Generate it with "
+            "`REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_search.py` "
+            "and commit it."
+        )
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def test_regenerate_fixtures_when_requested():
+    """With REGEN_GOLDEN=1, rewrite the fixture file (and always pass)."""
+    if not os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("set REGEN_GOLDEN=1 to rewrite tests/fixtures/golden_search.json")
+    entries = {preset: _generate_entry(preset) for preset in available_search_presets()}
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_fixture_version_matches_planner():
+    """SEARCH_VERSION moved but the fixtures were not regenerated."""
+    fixtures = _load_fixtures()
+    stale = {
+        name: entry["search_version"]
+        for name, entry in fixtures.items()
+        if entry["search_version"] != SEARCH_VERSION
+    }
+    if stale:
+        pytest.fail(
+            f"SEARCH_VERSION is {SEARCH_VERSION} but these fixtures were "
+            f"recorded at other versions: {stale}. {REGEN_HINT}"
+        )
+
+
+def test_fixture_presets_in_sync_with_code():
+    fixtures = _load_fixtures()
+    assert sorted(fixtures) == available_search_presets(), (
+        "fixture file and the preset registry disagree on the preset list. " + REGEN_HINT
+    )
+
+
+@pytest.mark.parametrize("preset", sorted(["gpt-tiny", "moe-tiny", "search-smoke"]))
+def test_golden_best_config(preset):
+    fixtures = _load_fixtures()
+    expected = fixtures[preset]
+    actual = _generate_entry(preset)
+    if actual == expected:
+        return
+    diff = "\n".join(
+        f"  {key}: recorded {expected.get(key)!r} -> searched {actual.get(key)!r}"
+        for key in sorted(set(expected) | set(actual))
+        if expected.get(key) != actual.get(key)
+    )
+    pytest.fail(
+        f"search preset {preset!r} drifted from its recorded golden result:\n"
+        f"{diff}\n{REGEN_HINT}"
+    )
