@@ -1,0 +1,228 @@
+"""Core-throughput benchmark: events/sec for trace build, analytics, replay, timeline.
+
+This is the perf trajectory for the columnar trace core (ROADMAP open item 1).
+It measures four hot layers at three scales and reports events/sec:
+
+* ``trace_build``  -- ``TraceGenerator.generate()`` (event emission).
+* ``analytics``    -- ``peak_allocated_bytes`` + ``comm_peak_bytes`` +
+                      ``size_histogram`` + ``allocation_sizes`` on a freshly
+                      constructed ``Trace`` view (cold caches each rep).
+* ``replay_native``-- ``replay_trace`` against the native allocator (the
+                      profiler mode; batch-replayable).
+* ``replay_caching``-- ``replay_trace`` against torch2.3 (sequential state
+                      machine; exercises the event-by-event fallback).
+* ``timeline``     -- ``simulate_timeline`` with the result memo cleared each
+                      rep (steady state: the compiled-plan cache stays warm,
+                      exactly like a sweep evaluating many points of one
+                      geometry).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_core.py                 # all presets
+    PYTHONPATH=src python benchmarks/bench_trace_core.py --preset gpt-tiny
+    PYTHONPATH=src python benchmarks/bench_trace_core.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_trace_core.py --preset gpt-tiny \
+        --check benchmarks/BENCH_trace_core.json   # CI perf smoke (3x floor)
+
+``--check`` compares measured events/sec against the most recent trajectory
+entry in ``BENCH_trace_core.json`` and fails (exit 1) only if a metric drops
+more than 3x below the recorded floor -- loose enough for CI noise, tight
+enough to catch an accidental return to object-per-event hot paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.allocators.registry import create_allocator
+from repro.gpu.device import GIB, Device
+from repro.simulator.replay import replay_trace
+from repro.timeline.simulator import clear_timeline_memo, simulate_timeline
+from repro.workloads.models import get_model
+from repro.workloads.parallelism import ParallelismConfig
+from repro.workloads.tracegen import TraceGenerator
+from repro.workloads.training import TrainingConfig
+
+#: Regression gate for --check: fail when measured < recorded / 3.
+CHECK_RATIO = 3.0
+
+#: Benchmark configurations.  "job-smoke" mirrors the sweep preset of the same
+#: name (gpt2-345m, pp=4 dp=2, mbs=4, m=4, scale 0.5); the tiny ones match the
+#: golden-fixture shapes with more microbatches for stable timing.
+PRESETS: dict[str, dict] = {
+    "gpt-tiny": {
+        "model": "gpt-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 2},
+        "micro_batch_size": 2,
+        "num_microbatches": 8,
+        "scale": 1.0,
+    },
+    "moe-tiny": {
+        "model": "moe-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        "micro_batch_size": 2,
+        "num_microbatches": 8,
+        "moe_imbalance": 0.6,
+        "moe_comm_factor": 1.0,
+        "scale": 1.0,
+    },
+    "job-smoke": {
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 4, "data_parallel": 2},
+        "micro_batch_size": 4,
+        "num_microbatches": 4,
+        "scale": 0.5,
+    },
+}
+
+
+def build_config(preset: str) -> tuple[TrainingConfig, float]:
+    spec = PRESETS[preset]
+    parallelism = ParallelismConfig(**spec["parallelism"])
+    config = TrainingConfig(
+        model=get_model(spec["model"]),
+        parallelism=parallelism,
+        micro_batch_size=spec["micro_batch_size"],
+        num_microbatches=spec["num_microbatches"],
+        moe_imbalance=spec.get("moe_imbalance", 0.3),
+        moe_comm_factor=spec.get("moe_comm_factor", 0.0),
+    )
+    return config, spec["scale"]
+
+
+def _measure(fn, events: int, *, min_seconds: float = 1.0, min_reps: int = 3) -> dict:
+    """Run ``fn`` until ``min_seconds`` of wall time accumulate; report ev/s."""
+    fn()  # warm-up (imports, first-touch caches shared by old and new code)
+    reps = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while elapsed < min_seconds or reps < min_reps:
+        fn()
+        reps += 1
+        elapsed = time.perf_counter() - start
+    rate = events * reps / elapsed
+    return {
+        "events": int(events),
+        "reps": int(reps),
+        "seconds": round(elapsed, 4),
+        "events_per_sec": int(rate),
+    }
+
+
+def bench_preset(preset: str) -> dict:
+    config, scale = build_config(preset)
+
+    generator = TraceGenerator(config, scale=scale)
+    trace = generator.generate()
+    num_events = len(trace.events)
+    # Keep a plain object list around so analytics timing always starts from
+    # the object representation (cold column build included each rep).
+    events = list(trace.events)
+    metadata = trace.metadata
+    phases = trace.phases
+    spans = trace.module_spans
+    trace_cls = type(trace)
+
+    def run_build():
+        TraceGenerator(config, scale=scale).generate()
+
+    def run_analytics():
+        view = trace_cls(
+            events=events, metadata=metadata, phases=phases, module_spans=spans
+        )
+        view.peak_allocated_bytes()
+        view.comm_peak_bytes()
+        view.size_histogram()
+        view.allocation_sizes()
+
+    def make_replay(name: str):
+        def run_replay():
+            device = Device(name="bench", capacity=512 * GIB)
+            allocator = create_allocator(name, device)
+            result = replay_trace(trace, allocator)
+            if not result.success:
+                raise RuntimeError(f"replay OOM in benchmark ({name})")
+
+        return run_replay
+
+    def run_timeline():
+        clear_timeline_memo()
+        simulate_timeline(config, seed=0, scale=scale)
+
+    clear_timeline_memo()
+    timeline_events = simulate_timeline(config, seed=0, scale=scale).num_events
+
+    results = {
+        "trace_build": _measure(run_build, num_events),
+        "analytics": _measure(run_analytics, num_events),
+        "replay_native": _measure(make_replay("native"), num_events),
+        "replay_caching": _measure(make_replay("torch2.3"), num_events),
+        "timeline": _measure(run_timeline, timeline_events),
+    }
+    return results
+
+
+def latest_floor(trajectory_path: Path, preset: str) -> dict:
+    data = json.loads(trajectory_path.read_text())
+    entry = data["trajectory"][-1]
+    return entry["results"][preset]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=[*PRESETS, "all"], default="all")
+    parser.add_argument("--json", type=Path, help="write results as JSON")
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="compare against the latest BENCH_trace_core.json entry; "
+        f"fail if any metric is >{CHECK_RATIO:g}x below the recorded floor",
+    )
+    args = parser.parse_args(argv)
+
+    presets = list(PRESETS) if args.preset == "all" else [args.preset]
+    results: dict[str, dict] = {}
+    for preset in presets:
+        results[preset] = bench_preset(preset)
+        print(f"== {preset} ==")
+        for metric, row in results[preset].items():
+            print(
+                f"  {metric:16s} {row['events_per_sec']:>12,d} ev/s"
+                f"  ({row['events']} events x {row['reps']} reps in {row['seconds']}s)"
+            )
+
+    if args.json:
+        args.json.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        failed = False
+        for preset in presets:
+            floor = latest_floor(args.check, preset)
+            for metric, row in results[preset].items():
+                recorded = floor.get(metric, {}).get("events_per_sec")
+                if recorded is None:
+                    continue
+                measured = row["events_per_sec"]
+                bound = recorded / CHECK_RATIO
+                status = "ok" if measured >= bound else "FAIL"
+                print(
+                    f"check {preset}/{metric}: measured {measured:,d} ev/s vs "
+                    f"floor {recorded:,d}/{CHECK_RATIO:g} = {int(bound):,d} ev/s [{status}]"
+                )
+                if measured < bound:
+                    failed = True
+        if failed:
+            print("perf smoke FAILED: events/sec regressed more than "
+                  f"{CHECK_RATIO:g}x below the recorded floor")
+            return 1
+        print("perf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

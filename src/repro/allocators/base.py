@@ -177,6 +177,20 @@ class Allocator(abc.ABC):
             return 1.0
         return self._allocated_bytes / reserved
 
+    def batch_replay(self, trace, *, stop_on_oom: bool = True) -> int | None:
+        """Apply a whole trace in one vectorized pass, when possible.
+
+        Returns the number of events applied (``trace.num_events``) after
+        mutating this allocator and its device into *exactly* the end state
+        the event-by-event replay loop would have produced -- same stats,
+        same live allocations, same peaks -- or ``None`` when the trace needs
+        per-event replay: the allocator was already used, an allocation would
+        fail (failures must be modelled event by event), per-event hints
+        drive the allocator's decisions, or the trace's alloc/free pairing is
+        not simple.  The default can never batch-replay.
+        """
+        return None
+
     def iteration_boundary(self) -> None:
         """Hook invoked by the simulator between training iterations.
 

@@ -13,8 +13,10 @@ millisecond, so profiling runs at 10-30% of normal training speed (Table 2).
 
 from __future__ import annotations
 
+import itertools
+
 from repro.allocators.base import AllocationHints, Allocator, Placement
-from repro.gpu.device import Device, PhysicalAllocation
+from repro.gpu.device import DRIVER_ALIGNMENT, Device, PhysicalAllocation
 
 #: Modelled latency of one cudaMalloc/cudaFree driver call.
 DRIVER_CALL_SECONDS = 1e-4
@@ -48,3 +50,88 @@ class NativeAllocator(Allocator):
     def overhead_seconds(self) -> float:
         calls = self.stats.device_malloc_calls + self.stats.device_free_calls
         return calls * DRIVER_CALL_SECONDS
+
+    # ------------------------------------------------------------------ #
+    # Vectorized batch replay
+    # ------------------------------------------------------------------ #
+    def batch_replay(self, trace, *, stop_on_oom: bool = True) -> int | None:
+        """Replay a whole trace in one vectorized pass.
+
+        The native allocator is exactly batch-replayable: the device enforces
+        only capacity (no placement, no size rounding) and hints are ignored,
+        so the event loop's entire effect is determined by the trace's
+        live-bytes curve and alloc/free pairing -- both precomputed on the
+        trace's columns.  The replay succeeds without OOM iff the curve's
+        maximum fits in the device's free bytes; in that case this method
+        reconstructs the exact end state (live allocations with the addresses
+        the sequential driver counter would have assigned, all device and
+        allocator counters, both peaks) without executing per-event Python.
+
+        Falls back (returns ``None``) whenever the loop could behave
+        differently: a would-be OOM (per-event failure accounting), a reused
+        or mismatched request id, a non-positive size (the loop raises), a
+        subclass overriding the per-event behaviour, or an allocator/device
+        that is not fresh.
+        """
+        if type(self) is not NativeAllocator:
+            return None  # subclasses may change per-event behaviour
+        device = self.device
+        if (
+            self._live_sizes
+            or self.stats.alloc_calls
+            or self.stats.free_calls
+            or device.in_use
+            or device.stats.malloc_calls
+            or device.stats.free_calls
+        ):
+            return None  # mid-stream state: replay event by event
+        columns = trace.columns
+        num_events = columns.num_events
+        if num_events == 0:
+            return 0
+        pairing = columns.pairing()
+        if not pairing.ok:
+            return None
+        sizes = columns.size
+        alloc_sizes = sizes[pairing.alloc_pos]
+        num_allocs = int(pairing.alloc_pos.shape[0])
+        num_frees = int(pairing.free_pos.shape[0])
+        if num_allocs and int(alloc_sizes.min()) <= 0:
+            return None  # the event loop raises ValueError on these
+        curve = columns.live_bytes()
+        peak = max(0, int(curve.max()))
+        if peak > device.free_bytes:
+            return None  # would OOM: the loop models the failure precisely
+        final_live = int(curve[-1])
+
+        # Reconstruct the exact end state of the sequential replay.  The
+        # device's address counter hands the i-th malloc the address
+        # (DRIVER_ALIGNMENT + i) * DRIVER_ALIGNMENT; surviving allocations
+        # keep theirs, and the counter advances past every batched malloc.
+        survivor_req_ids = columns.req_id[pairing.alloc_pos[pairing.survivor_ordinals]]
+        survivor_sizes = alloc_sizes[pairing.survivor_ordinals]
+        for ordinal, req_id, size in zip(
+            pairing.survivor_ordinals.tolist(),
+            survivor_req_ids.tolist(),
+            survivor_sizes.tolist(),
+        ):
+            address = (DRIVER_ALIGNMENT + ordinal) * DRIVER_ALIGNMENT
+            allocation = PhysicalAllocation(address=address, size=size)
+            device._allocations[address] = allocation
+            self._allocations[req_id] = allocation
+            self._live_sizes[req_id] = size
+        device._next_address = itertools.count(DRIVER_ALIGNMENT + num_allocs)
+        device._in_use = final_live
+        device.stats.malloc_calls += num_allocs
+        device.stats.free_calls += num_frees
+        device.stats.bytes_allocated_total += int(alloc_sizes.sum())
+        device.stats.peak_in_use = max(device.stats.peak_in_use, peak)
+        self._allocated_bytes = final_live
+        self.stats.alloc_calls += num_allocs
+        self.stats.free_calls += num_frees
+        self.stats.device_malloc_calls += num_allocs
+        self.stats.device_free_calls += num_frees
+        self.stats.peak_allocated = max(self.stats.peak_allocated, peak)
+        # reserved == allocated for the native allocator at every instant.
+        self.stats.peak_reserved = max(self.stats.peak_reserved, peak)
+        return num_events

@@ -19,6 +19,9 @@ Usage::
     stalloc-repro search gpt-tiny 4xA800-80GB@0.5 --global-batch 8
     stalloc-repro search search-smoke --compare baseline.json  # CI regression gate
     stalloc-repro search --list
+    stalloc-repro timeline gpt-tiny --pp 2 --microbatches 8
+    stalloc-repro timeline moe-tiny --pp 2 --ep 4 --comm-factor 1.0 \
+        --trace-out timeline.json                           # open in ui.perfetto.dev
     stalloc-repro cache prune --max-gib 2
 """
 
@@ -263,6 +266,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative change a metric may move before --compare flags it (default: 0)",
     )
 
+    timeline_parser = subparsers.add_parser(
+        "timeline",
+        help="simulate one iteration's timeline and optionally export it",
+    )
+    timeline_parser.add_argument(
+        "model", help="model preset name (see 'stalloc-repro sweep --list' presets)"
+    )
+    timeline_parser.add_argument(
+        "--pp", type=int, default=1, metavar="N", help="pipeline-parallel degree (default: 1)"
+    )
+    timeline_parser.add_argument(
+        "--dp", type=int, default=1, metavar="N", help="data-parallel degree (default: 1)"
+    )
+    timeline_parser.add_argument(
+        "--ep", type=int, default=1, metavar="N", help="expert-parallel degree (default: 1)"
+    )
+    timeline_parser.add_argument(
+        "--chunks",
+        type=int,
+        default=1,
+        metavar="N",
+        help="virtual-pipeline chunks (default: 1)",
+    )
+    timeline_parser.add_argument(
+        "--microbatches",
+        type=int,
+        default=8,
+        metavar="N",
+        help="micro-batches per iteration (default: %(default)s)",
+    )
+    timeline_parser.add_argument(
+        "--micro-batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sequences per micro-batch (default: %(default)s)",
+    )
+    timeline_parser.add_argument(
+        "--comm-factor",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="MoE all-to-all comm factor (default: 0, comm-free)",
+    )
+    timeline_parser.add_argument(
+        "--gpu", default="A800-80GB", metavar="NAME", help="GPU spec (default: %(default)s)"
+    )
+    timeline_parser.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="router seed (default: 0)"
+    )
+    timeline_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="layer-count scale in (0, 1] (default: 1.0)",
+    )
+    timeline_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH.json",
+        help=(
+            "write the per-rank event streams as Chrome trace-event JSON "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+
     cache_parser = subparsers.add_parser(
         "cache", help="manage the persistent trace/plan/result cache"
     )
@@ -503,6 +573,45 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_timeline(args) -> int:
+    from repro.timeline import simulate_timeline, write_chrome_trace
+    from repro.workloads.models import get_model
+    from repro.workloads.parallelism import ParallelismConfig
+    from repro.workloads.training import TrainingConfig
+
+    try:
+        config = TrainingConfig(
+            model=get_model(args.model),
+            parallelism=ParallelismConfig(
+                pipeline_parallel=args.pp,
+                data_parallel=args.dp,
+                expert_parallel=args.ep,
+                virtual_pipeline_chunks=args.chunks,
+            ),
+            micro_batch_size=args.micro_batch_size,
+            num_microbatches=args.microbatches,
+            moe_comm_factor=args.comm_factor,
+        )
+        result = simulate_timeline(config, gpu=args.gpu, seed=args.seed, scale=args.scale)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    summary = result.as_dict()
+    print(f"timeline: {summary['description']} on {summary['gpu']}")
+    print(f"  iteration_seconds  {summary['iteration_seconds']:.6f}")
+    print(f"  compute_seconds    {result.compute_seconds:.6f}")
+    print(f"  comm_seconds       {summary['comm_seconds']:.6f}")
+    print(f"  stall_seconds      {summary['stall_seconds']:.6f}")
+    print(f"  bubble_fraction    {summary['bubble_fraction']:.4f}")
+    print(f"  mfu                {summary['mfu']:.4f}")
+    print(f"  events             {summary['num_events']}")
+    print(f"  binding_rank       pp{summary['binding_rank'][0]}/ep{summary['binding_rank'][1]}")
+    if args.trace_out is not None:
+        written = write_chrome_trace(result, args.trace_out)
+        print(f"wrote {written} trace events to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.sweep import SweepCache
 
@@ -544,6 +653,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "search":
         return _cmd_search(args)
+
+    if args.command == "timeline":
+        return _cmd_timeline(args)
 
     if args.command == "cache":
         return _cmd_cache(args)

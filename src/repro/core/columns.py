@@ -1,0 +1,394 @@
+"""Structure-of-arrays (columnar) storage for allocation-trace events.
+
+The object event model (:class:`repro.core.events.TraceEvent`) is ergonomic
+but costs one Python object per event -- at production scale (millions of
+events per rank) that makes every analytics pass, replay, and serialization
+walk millions of attribute lookups.  This module stores one trace as parallel
+``numpy`` ``int64`` columns instead:
+
+``kind``         0 = alloc, 1 = free (:data:`KIND_CODES`)
+``req_id``       the request id (tensor id)
+``size``         bytes requested
+``time``         logical timestamp
+``phase_index``  ``Phase.index`` of the emitting phase
+``module_index`` index into the interned :attr:`TraceColumns.modules` table
+``dyn``          1 when the size is only known at runtime
+``category``     index into :data:`CATEGORIES` (``TensorCategory`` order)
+``tag_index``    index into the interned :attr:`TraceColumns.tags` table
+
+Strings (module paths, tags) are interned into per-trace tables so the
+columns stay pure ``int64``.  :class:`repro.workloads.trace.Trace` keeps its
+object API as a thin lazy view over these columns: objects are materialized
+only when someone actually touches ``trace.events``.
+
+Analytics (`live_bytes`, peaks, histograms) are vectorized here and memoised
+per instance; everything returns plain Python ints/lists so callers cannot
+tell the difference from the old object-walking implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.events import EventKind, Phase, TensorCategory, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Event-kind codes (column ``kind``).
+ALLOC = 0
+FREE = 1
+KIND_CODES = {EventKind.ALLOC: ALLOC, EventKind.FREE: FREE}
+KINDS = (EventKind.ALLOC, EventKind.FREE)
+
+#: Category codes follow the declaration order of :class:`TensorCategory`,
+#: which is part of the serialization contract and stable.
+CATEGORIES: tuple[TensorCategory, ...] = tuple(TensorCategory)
+CATEGORY_CODES = {category: code for code, category in enumerate(CATEGORIES)}
+COMM_BUFFER_CODE = CATEGORY_CODES[TensorCategory.COMM_BUFFER]
+
+
+class ColumnBuilder:
+    """Append-only accumulator the trace generator emits events into.
+
+    Appends are plain ``list.append`` (cheaper than growing numpy arrays
+    element-wise); :meth:`build` converts to immutable columns once.
+    """
+
+    __slots__ = (
+        "kind", "req_id", "size", "time", "phase_index", "module_index",
+        "dyn", "category", "tag_index", "_modules", "_tags",
+    )
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.req_id: list[int] = []
+        self.size: list[int] = []
+        self.time: list[int] = []
+        self.phase_index: list[int] = []
+        self.module_index: list[int] = []
+        self.dyn: list[int] = []
+        self.category: list[int] = []
+        self.tag_index: list[int] = []
+        self._modules: dict[str, int] = {}
+        self._tags: dict[str, int] = {}
+
+    def intern_module(self, module: str) -> int:
+        index = self._modules.get(module)
+        if index is None:
+            index = len(self._modules)
+            self._modules[module] = index
+        return index
+
+    def intern_tag(self, tag: str) -> int:
+        index = self._tags.get(tag)
+        if index is None:
+            index = len(self._tags)
+            self._tags[tag] = index
+        return index
+
+    def append(
+        self,
+        kind: int,
+        req_id: int,
+        size: int,
+        time: int,
+        phase_index: int,
+        module: str,
+        dyn: bool,
+        category: int,
+        tag: str,
+    ) -> None:
+        self.kind.append(kind)
+        self.req_id.append(req_id)
+        self.size.append(size)
+        self.time.append(time)
+        self.phase_index.append(phase_index)
+        self.module_index.append(self.intern_module(module))
+        self.dyn.append(1 if dyn else 0)
+        self.category.append(category)
+        self.tag_index.append(self.intern_tag(tag))
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def build(self) -> "TraceColumns":
+        return TraceColumns(
+            kind=np.asarray(self.kind, dtype=np.int64),
+            req_id=np.asarray(self.req_id, dtype=np.int64),
+            size=np.asarray(self.size, dtype=np.int64),
+            time=np.asarray(self.time, dtype=np.int64),
+            phase_index=np.asarray(self.phase_index, dtype=np.int64),
+            module_index=np.asarray(self.module_index, dtype=np.int64),
+            dyn=np.asarray(self.dyn, dtype=np.int64),
+            category=np.asarray(self.category, dtype=np.int64),
+            tag_index=np.asarray(self.tag_index, dtype=np.int64),
+            modules=tuple(self._modules),
+            tags=tuple(self._tags),
+        )
+
+
+@dataclass(frozen=True)
+class Pairing:
+    """Alloc/free pairing of a trace, when it is *simple*.
+
+    A trace pairs simply when every request id is allocated at most once,
+    freed at most once (after its allocation, with the same size), and every
+    free has a matching allocation.  Generator traces always qualify;
+    hand-built pathological traces (id reuse, mismatched sizes) fall back to
+    the event-by-event replay loop.
+    """
+
+    ok: bool
+    #: Event positions of alloc events, in trace order.
+    alloc_pos: np.ndarray
+    #: Event positions of free events, in trace order.
+    free_pos: np.ndarray
+    #: For each free event (in trace order): ordinal of its allocation among
+    #: the alloc events.  Empty when ``ok`` is False.
+    free_alloc_ordinal: np.ndarray
+    #: Ordinals (among alloc events) of allocations never freed.
+    survivor_ordinals: np.ndarray
+
+
+class TraceColumns:
+    """Immutable parallel int64 columns describing one trace.
+
+    Derived quantities (live-bytes curve, pairing) are memoised: the arrays
+    are treated as immutable once built, exactly like :class:`Trace` itself.
+    """
+
+    __slots__ = (
+        "kind", "req_id", "size", "time", "phase_index", "module_index",
+        "dyn", "category", "tag_index", "modules", "tags",
+        "_live_cache", "_pairing_cache",
+    )
+
+    def __init__(
+        self,
+        *,
+        kind: np.ndarray,
+        req_id: np.ndarray,
+        size: np.ndarray,
+        time: np.ndarray,
+        phase_index: np.ndarray,
+        module_index: np.ndarray,
+        dyn: np.ndarray,
+        category: np.ndarray,
+        tag_index: np.ndarray,
+        modules: tuple[str, ...],
+        tags: tuple[str, ...],
+    ) -> None:
+        self.kind = kind
+        self.req_id = req_id
+        self.size = size
+        self.time = time
+        self.phase_index = phase_index
+        self.module_index = module_index
+        self.dyn = dyn
+        self.category = category
+        self.tag_index = tag_index
+        self.modules = modules
+        self.tags = tags
+        self._live_cache: np.ndarray | None = None
+        self._pairing_cache: Pairing | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_events(cls, events: Sequence[TraceEvent]) -> "TraceColumns":
+        # Columnar construction: one comprehension per column beats a
+        # row-at-a-time builder by several times on object-backed traces.
+        # ``dict.setdefault(key, len(dict))`` interns in insertion order
+        # (the length is evaluated before any insertion happens).
+        alloc = EventKind.ALLOC
+        codes = CATEGORY_CODES
+        modules: dict[str, int] = {}
+        tags: dict[str, int] = {}
+        return cls(
+            kind=np.asarray(
+                [ALLOC if e.kind is alloc else FREE for e in events], dtype=np.int64
+            ),
+            req_id=np.asarray([e.req_id for e in events], dtype=np.int64),
+            size=np.asarray([e.size for e in events], dtype=np.int64),
+            time=np.asarray([e.time for e in events], dtype=np.int64),
+            phase_index=np.asarray([e.phase.index for e in events], dtype=np.int64),
+            module_index=np.asarray(
+                [modules.setdefault(e.module, len(modules)) for e in events],
+                dtype=np.int64,
+            ),
+            dyn=np.asarray([1 if e.dyn else 0 for e in events], dtype=np.int64),
+            category=np.asarray([codes[e.category] for e in events], dtype=np.int64),
+            tag_index=np.asarray(
+                [tags.setdefault(e.tag, len(tags)) for e in events], dtype=np.int64
+            ),
+            modules=tuple(modules),
+            tags=tuple(tags),
+        )
+
+    def to_events(self, phases: Iterable[Phase]) -> list[TraceEvent]:
+        """Materialize the object view (one ``TraceEvent`` per row)."""
+        phase_by_index = {phase.index: phase for phase in phases}
+        modules = self.modules
+        tags = self.tags
+        return [
+            TraceEvent(
+                kind=KINDS[kind],
+                req_id=req_id,
+                size=size,
+                time=time,
+                phase=phase_by_index[phase_index],
+                module=modules[module_index],
+                dyn=bool(dyn),
+                category=CATEGORIES[category],
+                tag=tags[tag_index],
+            )
+            for kind, req_id, size, time, phase_index, module_index, dyn, category, tag_index in zip(
+                self.kind.tolist(),
+                self.req_id.tolist(),
+                self.size.tolist(),
+                self.time.tolist(),
+                self.phase_index.tolist(),
+                self.module_index.tolist(),
+                self.dyn.tolist(),
+                self.category.tolist(),
+                self.tag_index.tolist(),
+            )
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Vectorized analytics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_events(self) -> int:
+        return int(self.kind.shape[0])
+
+    def signed_sizes(self) -> np.ndarray:
+        return np.where(self.kind == ALLOC, self.size, -self.size)
+
+    def live_bytes(self) -> np.ndarray:
+        """Running live bytes after each event (the allocation curve)."""
+        if self._live_cache is None:
+            self._live_cache = np.cumsum(self.signed_sizes())
+        return self._live_cache
+
+    def peak_allocated_bytes(self) -> int:
+        # Positive steps only come from allocs, so the prefix maximum is
+        # always attained immediately after an alloc -- identical to the
+        # object loop that only samples the peak after allocations.
+        if self.num_events == 0:
+            return 0
+        return max(0, int(self.live_bytes().max()))
+
+    def comm_peak_bytes(self) -> int:
+        mask = self.category == COMM_BUFFER_CODE
+        if not mask.any():
+            return 0
+        comm = self.signed_sizes()[mask]
+        return max(0, int(np.cumsum(comm).max()))
+
+    def total_allocated_bytes(self) -> int:
+        return int(self.size[self.kind == ALLOC].sum())
+
+    @property
+    def num_requests(self) -> int:
+        return int((self.kind == ALLOC).sum())
+
+    @property
+    def num_dynamic_requests(self) -> int:
+        return int(((self.kind == ALLOC) & (self.dyn == 1)).sum())
+
+    def allocation_sizes(self, *, min_size: int = 0) -> list[int]:
+        mask = self.kind == ALLOC
+        if min_size:
+            mask &= self.size >= min_size
+        return self.size[mask].tolist()
+
+    def distinct_sizes(self, *, min_size: int = 512) -> int:
+        mask = (self.kind == ALLOC) & (self.size > min_size)
+        return int(np.unique(self.size[mask]).shape[0])
+
+    def size_histogram_items(self, *, min_size: int = 0) -> list[tuple[int, int]]:
+        mask = self.kind == ALLOC
+        if min_size:
+            mask &= self.size >= min_size
+        values, counts = np.unique(self.size[mask], return_counts=True)
+        return list(zip(values.tolist(), counts.tolist()))
+
+    def static_dynamic_split(self) -> tuple[int, int]:
+        alloc = self.kind == ALLOC
+        dynamic = int(self.size[alloc & (self.dyn == 1)].sum())
+        static = int(self.size[alloc & (self.dyn == 0)].sum())
+        return static, dynamic
+
+    def category_bytes(self) -> dict[str, int]:
+        alloc = self.kind == ALLOC
+        totals: dict[str, int] = {}
+        present = np.unique(self.category[alloc])
+        for code in present.tolist():
+            total = int(self.size[alloc & (self.category == code)].sum())
+            totals[CATEGORIES[code].value] = total
+        return totals
+
+    def end_time(self) -> int:
+        if self.num_events == 0:
+            return 0
+        return int(self.time[-1]) + 1
+
+    # ------------------------------------------------------------------ #
+    # Alloc/free pairing (batch-replay support)
+    # ------------------------------------------------------------------ #
+    def pairing(self) -> Pairing:
+        """Match frees to their allocations; memoised per trace."""
+        if self._pairing_cache is None:
+            self._pairing_cache = self._compute_pairing()
+        return self._pairing_cache
+
+    def _compute_pairing(self) -> Pairing:
+        alloc_pos = np.flatnonzero(self.kind == ALLOC)
+        free_pos = np.flatnonzero(self.kind == FREE)
+        empty = np.empty(0, dtype=np.int64)
+
+        def invalid() -> Pairing:
+            return Pairing(
+                ok=False,
+                alloc_pos=alloc_pos,
+                free_pos=free_pos,
+                free_alloc_ordinal=empty,
+                survivor_ordinals=empty,
+            )
+
+        alloc_ids = self.req_id[alloc_pos]
+        free_ids = self.req_id[free_pos]
+        if np.unique(alloc_ids).shape[0] != alloc_ids.shape[0]:
+            return invalid()
+        if np.unique(free_ids).shape[0] != free_ids.shape[0]:
+            return invalid()
+        order = np.argsort(alloc_ids, kind="stable")
+        sorted_ids = alloc_ids[order]
+        slots = np.searchsorted(sorted_ids, free_ids)
+        if slots.shape[0] and (
+            (slots >= sorted_ids.shape[0]).any()
+            or (sorted_ids[np.minimum(slots, sorted_ids.shape[0] - 1)] != free_ids).any()
+        ):
+            return invalid()
+        free_alloc_ordinal = order[slots] if slots.shape[0] else empty
+        matched_pos = alloc_pos[free_alloc_ordinal]
+        if (free_pos <= matched_pos).any():
+            return invalid()
+        if (self.size[free_pos] != self.size[matched_pos]).any():
+            return invalid()
+        freed = np.zeros(alloc_pos.shape[0], dtype=bool)
+        freed[free_alloc_ordinal] = True
+        survivor_ordinals = np.flatnonzero(~freed)
+        return Pairing(
+            ok=True,
+            alloc_pos=alloc_pos,
+            free_pos=free_pos,
+            free_alloc_ordinal=free_alloc_ordinal,
+            survivor_ordinals=survivor_ordinals,
+        )

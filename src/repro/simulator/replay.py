@@ -49,6 +49,10 @@ class ReplayResult:
         if not self.success:
             data["oom_at_event"] = self.oom_at_event
             data["oom_request_bytes"] = self.oom_request_bytes
+        # Skip accounting is reported whenever events were skipped, not only
+        # on failure: a stop_on_oom=False replay can finish "successfully"
+        # while having dropped requests, and that must stay visible.
+        if not self.success or self.failed_allocs or self.skipped_frees:
             data["failed_allocs"] = self.failed_allocs
             data["skipped_frees"] = self.skipped_frees
         return data
@@ -65,7 +69,25 @@ def replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool = True
     keeps going: the failed allocation and its matching free are both counted
     as skipped (never shown to the allocator), so at the end
     ``events_replayed + events_skipped`` equals the trace's event count.
+
+    Allocators that can apply a whole trace in one vectorized pass (see
+    :meth:`Allocator.batch_replay`) skip the per-event loop entirely; they
+    fall back to it whenever the outcome could differ (OOM, pathological
+    pairing, per-event hints), so results are identical either way.
     """
+    batched = allocator.batch_replay(trace, stop_on_oom=stop_on_oom)
+    if batched is not None:
+        return ReplayResult(
+            allocator_name=allocator.name,
+            metrics=MemoryMetrics(
+                peak_allocated_bytes=allocator.stats.peak_allocated,
+                peak_reserved_bytes=allocator.stats.peak_reserved,
+            ),
+            success=True,
+            events_replayed=batched,
+            allocator_stats=allocator.stats.snapshot(),
+            overhead_seconds=allocator.overhead_seconds(),
+        )
     events_replayed = 0
     failed_allocs = 0
     skipped_frees = 0

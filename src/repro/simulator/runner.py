@@ -3,8 +3,12 @@
 The experiments in :mod:`repro.experiments` all follow the same recipe:
 
 1. build a :class:`TrainingConfig`,
-2. generate its allocation trace,
-3. replay the trace through one or more allocators on a fresh device,
+2. generate its allocation trace (stored columnar, see
+   :mod:`repro.core.columns`; traces cached here are shared by reference,
+   which is safe because traces are immutable once generated),
+3. replay the trace through one or more allocators on a fresh device
+   (batch-replayable allocators apply the whole trace in one vectorized
+   pass, see :meth:`repro.allocators.base.Allocator.batch_replay`),
 4. compute memory-efficiency metrics (and optionally throughput).
 
 This module implements that recipe once, including STAlloc's extra offline

@@ -8,6 +8,7 @@ straggler stalls emerge from dependencies instead of closed-form fractions.
 See :mod:`repro.timeline.simulator` for the model.
 """
 
+from repro.timeline.export import chrome_trace_dict, write_chrome_trace
 from repro.timeline.simulator import (
     TIMELINE_VERSION,
     RankTimeline,
@@ -24,6 +25,8 @@ __all__ = [
     "TimelineEvent",
     "TimelineResult",
     "TimelineSimulator",
+    "chrome_trace_dict",
     "clear_timeline_memo",
     "simulate_timeline",
+    "write_chrome_trace",
 ]

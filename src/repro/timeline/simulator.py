@@ -40,7 +40,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.events import PhaseKind
 from repro.gpu.specs import GPUSpec, get_gpu
@@ -55,6 +57,35 @@ from repro.workloads.training import TrainingConfig
 #: configuration, so the golden timeline fixtures fail loudly (and get
 #: regenerated) instead of drifting silently.
 TIMELINE_VERSION = 1
+
+#: Event kinds in code order (the ``kind`` column of the record buffers).
+KIND_NAMES = (
+    "init",
+    "optimizer",
+    "forward",
+    "backward",
+    "expert_forward",
+    "expert_backward",
+    "a2a_dispatch",
+    "a2a_combine",
+    "stall",
+)
+K_INIT = 0
+K_OPTIMIZER = 1
+K_FORWARD = 2
+K_BACKWARD = 3
+K_EXPERT_FORWARD = 4
+K_EXPERT_BACKWARD = 5
+K_A2A_DISPATCH = 6
+K_A2A_COMBINE = 7
+K_STALL = 8
+_COMPUTE_CODES = frozenset((K_FORWARD, K_BACKWARD, K_EXPERT_FORWARD, K_EXPERT_BACKWARD))
+_COMM_CODES = frozenset((K_A2A_DISPATCH, K_A2A_COMBINE))
+
+#: Compiled dense execution plans, keyed by ``(pp, chunks, num_microbatches)``
+#: -- the only inputs the schedule's dataflow order depends on.
+_PLAN_CACHE: dict[tuple, tuple[list[tuple], int]] = {}
+_PLAN_CACHE_MAX = 64
 
 
 @dataclass(frozen=True)
@@ -90,16 +121,128 @@ class TimelineEvent:
         return self.start + self.duration
 
 
-@dataclass
-class RankTimeline:
-    """Event stream and time accounting of one simulated rank coordinate."""
+@dataclass(frozen=True)
+class TimelineColumns:
+    """Structure-of-arrays view of one rank's event stream."""
 
-    rank: tuple
-    events: list[TimelineEvent] = field(default_factory=list)
-    compute_seconds: float = 0.0
-    comm_seconds: float = 0.0
-    stall_seconds: float = 0.0
-    finish_seconds: float = 0.0
+    kind: "np.ndarray"
+    start: "np.ndarray"
+    duration: "np.ndarray"
+    microbatch: "np.ndarray"
+    chunk: "np.ndarray"
+    layer: "np.ndarray"
+
+    @property
+    def num_events(self) -> int:
+        return int(self.kind.shape[0])
+
+
+class RankTimeline:
+    """Event stream and time accounting of one simulated rank coordinate.
+
+    The simulator emits events as plain ``(kind_code, start, duration,
+    microbatch, chunk, layer)`` records; :class:`TimelineEvent` objects (and
+    the numpy :attr:`columns` view) are materialized lazily, only when a
+    consumer actually asks for them.
+    """
+
+    __slots__ = (
+        "rank", "compute_seconds", "comm_seconds", "stall_seconds",
+        "finish_seconds", "_events", "_records", "_columns",
+    )
+
+    def __init__(
+        self,
+        rank: tuple,
+        events: list[TimelineEvent] | None = None,
+        compute_seconds: float = 0.0,
+        comm_seconds: float = 0.0,
+        stall_seconds: float = 0.0,
+        finish_seconds: float = 0.0,
+        *,
+        records: list[tuple] | None = None,
+    ):
+        if events is not None and records is not None:
+            raise ValueError("pass either events or records, not both")
+        self.rank = rank
+        self.compute_seconds = compute_seconds
+        self.comm_seconds = comm_seconds
+        self.stall_seconds = stall_seconds
+        self.finish_seconds = finish_seconds
+        self._events: list[TimelineEvent] | None = events
+        self._records: list[tuple] | None = records
+        if self._events is None and self._records is None:
+            self._events = []
+        self._columns: TimelineColumns | None = None
+
+    @property
+    def num_events(self) -> int:
+        if self._records is not None:
+            return len(self._records)
+        return len(self._events)
+
+    def iter_records(self):
+        """Yield ``(kind_name, start, duration, microbatch, chunk, layer)``."""
+        if self._records is not None:
+            names = KIND_NAMES
+            for kind, start, duration, microbatch, chunk, layer in self._records:
+                yield names[kind], start, duration, microbatch, chunk, layer
+        else:
+            for event in self._events:
+                yield (
+                    event.kind, event.start, event.duration,
+                    event.microbatch, event.chunk, event.layer,
+                )
+
+    @property
+    def events(self) -> list[TimelineEvent]:
+        """Object view of the event stream (materialized lazily, memoised)."""
+        if self._events is None:
+            rank = self.rank
+            names = KIND_NAMES
+            self._events = [
+                TimelineEvent(
+                    rank=rank,
+                    kind=names[kind],
+                    start=start,
+                    duration=duration,
+                    microbatch=microbatch,
+                    chunk=chunk,
+                    layer=layer,
+                )
+                for kind, start, duration, microbatch, chunk, layer in self._records
+            ]
+        return self._events
+
+    @property
+    def columns(self) -> TimelineColumns:
+        """Numpy structure-of-arrays view (built lazily, memoised)."""
+        if self._columns is None:
+            if self._records is not None:
+                rows = self._records
+                kinds = [r[0] for r in rows]
+                starts = [r[1] for r in rows]
+                durations = [r[2] for r in rows]
+                microbatches = [r[3] for r in rows]
+                chunks = [r[4] for r in rows]
+                layers = [r[5] for r in rows]
+            else:
+                code_of = {name: code for code, name in enumerate(KIND_NAMES)}
+                kinds = [code_of[e.kind] for e in self._events]
+                starts = [e.start for e in self._events]
+                durations = [e.duration for e in self._events]
+                microbatches = [e.microbatch for e in self._events]
+                chunks = [e.chunk for e in self._events]
+                layers = [e.layer for e in self._events]
+            self._columns = TimelineColumns(
+                kind=np.asarray(kinds, dtype=np.int64),
+                start=np.asarray(starts, dtype=np.float64),
+                duration=np.asarray(durations, dtype=np.float64),
+                microbatch=np.asarray(microbatches, dtype=np.int64),
+                chunk=np.asarray(chunks, dtype=np.int64),
+                layer=np.asarray(layers, dtype=np.int64),
+            )
+        return self._columns
 
 
 @dataclass
@@ -118,7 +261,7 @@ class TimelineResult:
 
     @property
     def num_events(self) -> int:
-        return sum(len(rank.events) for rank in self.ranks)
+        return sum(rank.num_events for rank in self.ranks)
 
     @property
     def compute_seconds(self) -> float:
@@ -210,16 +353,17 @@ class TimelineResult:
         }
         yield json.dumps(header, sort_keys=True, separators=(",", ":"))
         for rank in self.ranks:
-            for event in rank.events:
+            coord = list(rank.rank)
+            for kind, start, duration, microbatch, chunk, layer in rank.iter_records():
                 yield json.dumps(
                     {
-                        "rank": list(event.rank),
-                        "kind": event.kind,
-                        "start": event.start,
-                        "duration": event.duration,
-                        "mb": event.microbatch,
-                        "chunk": event.chunk,
-                        "layer": event.layer,
+                        "rank": coord,
+                        "kind": kind,
+                        "start": start,
+                        "duration": duration,
+                        "mb": microbatch,
+                        "chunk": chunk,
+                        "layer": layer,
                     },
                     sort_keys=True,
                     separators=(",", ":"),
@@ -339,6 +483,9 @@ class TimelineSimulator:
         else:
             self.num_local_experts = 0
             self._router = None
+        #: Per-simulation memo of (loads, balanced, a2a_duration) keyed by
+        #: (global_layer, microbatch); see :meth:`_layer_exec`.
+        self._layer_exec_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Duration helpers
@@ -421,13 +568,132 @@ class TimelineSimulator:
     # Simulation
     # ------------------------------------------------------------------ #
     def run(self) -> TimelineResult:
+        if self._router is None:
+            return self._run_dense()
+        return self._run_grouped()
+
+    # -- Dense fast path: compiled plan + tight scalar loop ------------- #
+    def _compiled_plan(self) -> tuple[list[tuple], int]:
+        """Topologically-ordered execution plan of the dense schedule.
+
+        The schedule, its cross-stage dependencies, and therefore the order
+        in which phases become executable depend only on ``(pp, chunks,
+        num_microbatches)`` -- never on durations (each phase starts when its
+        own stage is free *and* its dependency has ended, so the dataflow
+        order is fixed by the graph).  The plan is computed once per geometry
+        and cached; running it binds the config's actual durations.
+
+        Each entry is ``(stage, kind_code, duration_selector, dep_slot,
+        end_slot, microbatch, chunk)`` where slots index a flat array holding
+        phase end times (-1 when absent) and the duration selector picks
+        0.0 / forward / backward seconds at run time.
+        """
+        key = (self.pp, self.chunks, self.num_microbatches)
+        plan = _PLAN_CACHE.get(key)
+        if plan is None:
+            plan = self._build_plan()
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+                _PLAN_CACHE.clear()
+            _PLAN_CACHE[key] = plan
+        return plan
+
+    def _build_plan(self) -> tuple[list[tuple], int]:
+        schedules = {
+            stage: build_schedule(self.config.parallelism, self.num_microbatches, stage)
+            for stage in range(self.pp)
+        }
+        entries: list[tuple] = []
+        slot_ids: dict[tuple, int] = {}
+        next_index = [0] * self.pp
+        remaining = sum(len(schedule) for schedule in schedules.values())
+        while remaining:
+            progressed = False
+            for stage in range(self.pp):
+                index = next_index[stage]
+                if index >= len(schedules[stage]):
+                    continue
+                spec = schedules[stage][index]
+                dependency = self._dependency(stage, spec)
+                if dependency is not None and dependency not in slot_ids:
+                    continue
+                if spec.kind is PhaseKind.INIT or spec.kind is PhaseKind.OPTIMIZER:
+                    code = K_INIT if spec.kind is PhaseKind.INIT else K_OPTIMIZER
+                    entries.append((stage, code, 0, -1, -1, -1, 0))
+                else:
+                    forward = spec.kind is PhaseKind.FORWARD
+                    end_key = (stage, "F" if forward else "B", spec.microbatch, spec.chunk)
+                    end_slot = slot_ids.setdefault(end_key, len(slot_ids))
+                    dep_slot = slot_ids[dependency] if dependency is not None else -1
+                    entries.append((
+                        stage,
+                        K_FORWARD if forward else K_BACKWARD,
+                        1 if forward else 2,
+                        dep_slot,
+                        end_slot,
+                        spec.microbatch,
+                        spec.chunk,
+                    ))
+                next_index[stage] += 1
+                remaining -= 1
+                progressed = True
+            if not progressed:  # pragma: no cover - guards future schedule changes
+                raise RuntimeError(
+                    "timeline deadlock: no executable phase left "
+                    f"(next indices {next_index})"
+                )
+        return entries, len(slot_ids)
+
+    def _run_dense(self) -> TimelineResult:
+        plan, num_slots = self._compiled_plan()
+        pp = self.pp
+        clocks = [0.0] * pp
+        ends = [0.0] * num_slots
+        buffers: list[list[tuple]] = [[] for _ in range(pp)]
+        # Accumulated in emission order, so the += chains are bit-identical
+        # to the previous per-event ``total += duration`` accumulation.
+        compute_totals = [0.0] * pp
+        stall_totals = [0.0] * pp
+        durations = (0.0, self.forward_unit_seconds, self.backward_unit_seconds)
+        for stage, code, selector, dep_slot, end_slot, microbatch, chunk in plan:
+            clock = clocks[stage]
+            buffer = buffers[stage]
+            if dep_slot >= 0:
+                ready = ends[dep_slot]
+                if ready > clock:
+                    buffer.append((K_STALL, clock, ready - clock, microbatch, chunk, -1))
+                    stall_totals[stage] += ready - clock
+                    clock = ready
+            duration = durations[selector]
+            buffer.append((code, clock, duration, microbatch, chunk, -1))
+            if selector:
+                compute_totals[stage] += duration
+                clock += duration
+            if end_slot >= 0:
+                ends[end_slot] = clock
+            clocks[stage] = clock
+
+        rank_timelines = [
+            RankTimeline(
+                rank=(stage, 0),
+                compute_seconds=compute_totals[stage],
+                comm_seconds=0.0,
+                stall_seconds=stall_totals[stage],
+                finish_seconds=clocks[stage],
+                records=buffers[stage],
+            )
+            for stage in range(pp)
+        ]
+        return self._result(rank_timelines, max(clocks))
+
+    # -- Grouped (MoE) path: per-EP cursors + synchronising collectives - #
+    def _run_grouped(self) -> TimelineResult:
         schedules = {
             stage: build_schedule(self.config.parallelism, self.num_microbatches, stage)
             for stage in range(self.pp)
         }
         eps = range(self.ep)
         clocks = {(stage, ep): 0.0 for stage in range(self.pp) for ep in eps}
-        events: dict[tuple, list[TimelineEvent]] = {coord: [] for coord in clocks}
+        events: dict[tuple, list[tuple]] = {coord: [] for coord in clocks}
         totals = {coord: {"compute": 0.0, "comm": 0.0, "stall": 0.0} for coord in clocks}
         ends: dict[tuple, dict[int, float]] = {}
 
@@ -457,14 +723,17 @@ class TimelineSimulator:
         rank_timelines = [
             RankTimeline(
                 rank=coord,
-                events=events[coord],
                 compute_seconds=totals[coord]["compute"],
                 comm_seconds=totals[coord]["comm"],
                 stall_seconds=totals[coord]["stall"],
                 finish_seconds=clocks[coord],
+                records=events[coord],
             )
             for coord in sorted(clocks)
         ]
+        return self._result(rank_timelines, iteration)
+
+    def _result(self, rank_timelines: list[RankTimeline], iteration: float) -> TimelineResult:
         return TimelineResult(
             gpu_name=self.gpu.name,
             description=self.config.describe(),
@@ -480,27 +749,22 @@ class TimelineSimulator:
     # Phase bodies
     # ------------------------------------------------------------------ #
     def _emit(self, events, totals, coord, kind, start, duration, spec=None, layer=-1):
-        events[coord].append(
-            TimelineEvent(
-                rank=coord,
-                kind=kind,
-                start=start,
-                duration=duration,
-                microbatch=spec.microbatch if spec is not None else -1,
-                chunk=spec.chunk if spec is not None else 0,
-                layer=layer,
+        if spec is not None:
+            events[coord].append(
+                (kind, start, duration, spec.microbatch, spec.chunk, layer)
             )
-        )
-        if kind in ("forward", "backward", "expert_forward", "expert_backward"):
+        else:
+            events[coord].append((kind, start, duration, -1, 0, layer))
+        if kind in _COMPUTE_CODES:
             totals[coord]["compute"] += duration
-        elif kind in ("a2a_dispatch", "a2a_combine"):
+        elif kind in _COMM_CODES:
             totals[coord]["comm"] += duration
-        elif kind == "stall":
+        elif kind == K_STALL:
             totals[coord]["stall"] += duration
 
     def _run_phase(self, stage, spec, dependency, clocks, events, totals, ends):
         if spec.kind in (PhaseKind.INIT, PhaseKind.OPTIMIZER):
-            kind = "init" if spec.kind is PhaseKind.INIT else "optimizer"
+            kind = K_INIT if spec.kind is PhaseKind.INIT else K_OPTIMIZER
             for ep in range(self.ep):
                 coord = (stage, ep)
                 self._emit(events, totals, coord, kind, clocks[coord], 0.0)
@@ -515,43 +779,50 @@ class TimelineSimulator:
                 start = max(start, ends[dependency][ep])
             if start > clocks[coord]:
                 self._emit(
-                    events, totals, coord, "stall", clocks[coord],
+                    events, totals, coord, K_STALL, clocks[coord],
                     start - clocks[coord], spec,
                 )
             cursors[ep] = start
 
-        if self._router is None:
-            # Dense model: one compute event covers the whole unit; there are
-            # no collectives to interleave with, so per-layer granularity
-            # would only inflate the event stream.
-            duration = self.forward_unit_seconds if forward else self.backward_unit_seconds
-            kind = "forward" if forward else "backward"
-            for ep in cursors:
-                self._emit(events, totals, (stage, ep), kind, cursors[ep], duration, spec)
-                cursors[ep] += duration
-        else:
-            self._run_moe_layers(stage, spec, forward, cursors, events, totals)
+        self._run_moe_layers(stage, spec, forward, cursors, events, totals)
 
         key = (stage, "F" if forward else "B", spec.microbatch, spec.chunk)
         ends[key] = dict(cursors)
         for ep, cursor in cursors.items():
             clocks[(stage, ep)] = cursor
 
+    def _layer_exec(self, global_layer: int, microbatch: int):
+        """Memoised ``(loads, balanced, a2a_duration)`` of one layer execution.
+
+        The forward dispatch and backward combine of the same (layer,
+        micro-batch) execution reuse one gating decision, so the routed
+        loads -- and everything derived from them -- are computed once.
+        """
+        key = (global_layer, microbatch)
+        cached = self._layer_exec_cache.get(key)
+        if cached is None:
+            loads = self._routed_loads(global_layer, microbatch)
+            balanced = sum(loads) / self.ep if self.ep else 0.0
+            a2a_duration = self._a2a_seconds(max(loads) if loads else 0)
+            cached = (loads, balanced, a2a_duration)
+            self._layer_exec_cache[key] = cached
+        return cached
+
     def _run_moe_layers(self, stage, spec, forward, cursors, events, totals):
         unit = self.forward_unit_seconds if forward else self.backward_unit_seconds
         per_layer = unit / self.layers
         expert_base = per_layer * self.expert_share
         dense_part = per_layer - expert_base
-        dense_kind = "forward" if forward else "backward"
-        expert_kind = "expert_forward" if forward else "expert_backward"
-        a2a_kind = "a2a_dispatch" if forward else "a2a_combine"
+        dense_kind = K_FORWARD if forward else K_BACKWARD
+        expert_kind = K_EXPERT_FORWARD if forward else K_EXPERT_BACKWARD
+        a2a_kind = K_A2A_DISPATCH if forward else K_A2A_COMBINE
         layer_order = range(self.layers) if forward else reversed(range(self.layers))
 
         for layer in layer_order:
             global_layer = self._global_layer(stage, spec.chunk, layer)
-            loads = self._routed_loads(global_layer, spec.microbatch)
-            balanced = sum(loads) / self.ep if self.ep else 0.0
-            a2a_duration = self._a2a_seconds(max(loads) if loads else 0)
+            loads, balanced, a2a_duration = self._layer_exec(
+                global_layer, spec.microbatch
+            )
 
             if forward:
                 # Dense compute produces the tokens the dispatch will route.
@@ -571,7 +842,7 @@ class TimelineSimulator:
                 coord = (stage, ep)
                 if begin > cursors[ep]:
                     self._emit(
-                        events, totals, coord, "stall", cursors[ep],
+                        events, totals, coord, K_STALL, cursors[ep],
                         begin - cursors[ep], spec, global_layer,
                     )
                 if a2a_duration > 0:

@@ -5,6 +5,14 @@ during a single training iteration, together with the metadata needed to
 interpret it.  It is the common currency of the repository: the workload
 generator produces traces, the profiler and plan synthesizer consume them, and
 the replay simulator feeds them to allocators.
+
+Storage is columnar (:class:`repro.core.columns.TraceColumns` -- parallel
+numpy int64 arrays, built once per trace).  The object API is a thin lazy
+view: ``trace.events`` materializes :class:`TraceEvent` objects on first
+access, while analytics, serialization, and replay operate directly on the
+columns.  A trace may be constructed from either representation; whichever
+side is missing is derived lazily and memoised.  Traces are treated as
+immutable once constructed (the digest memo and the sweep cache rely on it).
 """
 
 from __future__ import annotations
@@ -12,15 +20,20 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
 
+from repro.core.columns import (
+    CATEGORIES,
+    CATEGORY_CODES,
+    ColumnBuilder,
+    KINDS,
+    TraceColumns,
+)
 from repro.core.events import (
-    EventKind,
     MemoryRequest,
     Phase,
-    TensorCategory,
     TraceEvent,
     pair_events,
     phase_from_dict,
@@ -55,58 +68,98 @@ class TraceMetadata:
     tracegen_version: int = 0
 
 
-@dataclass
 class Trace:
-    """An ordered allocation/free event stream for one training iteration."""
+    """An ordered allocation/free event stream for one training iteration.
 
-    events: list[TraceEvent] = field(default_factory=list)
-    metadata: TraceMetadata = field(default_factory=TraceMetadata)
-    phases: list[Phase] = field(default_factory=list)
-    module_spans: dict[str, tuple[int, int]] = field(default_factory=dict)
+    Construct with ``events=`` (object view) or ``columns=`` (columnar view);
+    the other representation is derived lazily on first access.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[TraceEvent] | None = None,
+        metadata: TraceMetadata | None = None,
+        phases: Sequence[Phase] | None = None,
+        module_spans: dict[str, tuple[int, int]] | None = None,
+        *,
+        columns: TraceColumns | None = None,
+    ):
+        if events is not None and columns is not None:
+            raise ValueError("pass either events or columns, not both")
+        self._events: list[TraceEvent] | None = (
+            list(events) if events is not None else None
+        )
+        self._columns: TraceColumns | None = columns
+        if self._events is None and self._columns is None:
+            self._events = []
+        self.metadata = metadata if metadata is not None else TraceMetadata()
+        self.phases: list[Phase] = list(phases) if phases is not None else []
+        self.module_spans: dict[str, tuple[int, int]] = (
+            dict(module_spans) if module_spans is not None else {}
+        )
+        self._digest_cache: str | None = None
 
     # ------------------------------------------------------------------ #
-    # Basic statistics
+    # The two views
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Object view of the event stream (materialized lazily, memoised)."""
+        if self._events is None:
+            self._events = self._columns.to_events(self.phases)
+        return self._events
+
+    @property
+    def columns(self) -> TraceColumns:
+        """Columnar view of the event stream (built lazily, memoised)."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_events(self._events)
+        return self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Trace(num_events={self.num_events}, "
+            f"model={self.metadata.model_name!r}, "
+            f"phases={len(self.phases)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic statistics (vectorized over the columns)
     # ------------------------------------------------------------------ #
     @property
     def num_events(self) -> int:
-        return len(self.events)
+        if self._columns is not None:
+            return self._columns.num_events
+        return len(self._events)
 
     @property
     def num_requests(self) -> int:
         """Number of allocation requests (the paper's ``Num`` column in Table 2)."""
-        return sum(1 for event in self.events if event.is_alloc())
+        return self.columns.num_requests
 
     @property
     def num_dynamic_requests(self) -> int:
-        return sum(1 for event in self.events if event.is_alloc() and event.dyn)
+        return self.columns.num_dynamic_requests
 
     def allocation_sizes(self, *, min_size: int = 0) -> list[int]:
         """Sizes of every allocation request at least ``min_size`` bytes."""
-        return [e.size for e in self.events if e.is_alloc() and e.size >= min_size]
+        return self.columns.allocation_sizes(min_size=min_size)
 
     def distinct_sizes(self, *, min_size: int = 512) -> int:
         """Number of distinct allocation sizes (the Figure 3 statistic)."""
-        return len({e.size for e in self.events if e.is_alloc() and e.size > min_size})
+        return self.columns.distinct_sizes(min_size=min_size)
 
     def size_histogram(self, *, min_size: int = 0) -> Counter:
         """size -> number of allocations of that size."""
-        return Counter(self.allocation_sizes(min_size=min_size))
+        return Counter(dict(self.columns.size_histogram_items(min_size=min_size)))
 
     def peak_allocated_bytes(self) -> int:
         """Theoretical peak memory demand ``M_a`` of the trace."""
-        live = 0
-        peak = 0
-        for event in self.events:
-            if event.is_alloc():
-                live += event.size
-                peak = max(peak, live)
-            else:
-                live -= event.size
-        return peak
+        return self.columns.peak_allocated_bytes()
 
     def total_allocated_bytes(self) -> int:
         """Sum of all allocation sizes over the iteration."""
-        return sum(e.size for e in self.events if e.is_alloc())
+        return self.columns.total_allocated_bytes()
 
     def comm_peak_bytes(self) -> int:
         """Peak concurrently-live communication-buffer bytes.
@@ -118,20 +171,12 @@ class Trace:
         alone.  Like :meth:`peak_allocated_bytes` it is trace-determined:
         every allocator replays the same curve.
         """
-        live = 0
-        peak = 0
-        for event in self.events:
-            if event.category is not TensorCategory.COMM_BUFFER:
-                continue
-            if event.is_alloc():
-                live += event.size
-                peak = max(peak, live)
-            else:
-                live -= event.size
-        return peak
+        return self.columns.comm_peak_bytes()
 
     def end_time(self) -> int:
-        return self.events[-1].time + 1 if self.events else 0
+        if self._columns is not None:
+            return self._columns.end_time()
+        return self._events[-1].time + 1 if self._events else 0
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -142,18 +187,11 @@ class Trace:
 
     def static_dynamic_split(self) -> tuple[int, int]:
         """(static bytes, dynamic bytes) of the iteration's allocations."""
-        static = sum(e.size for e in self.events if e.is_alloc() and not e.dyn)
-        dynamic = sum(e.size for e in self.events if e.is_alloc() and e.dyn)
-        return static, dynamic
+        return self.columns.static_dynamic_split()
 
     def category_bytes(self) -> dict[str, int]:
         """Total allocated bytes per tensor category."""
-        totals: dict[str, int] = {}
-        for event in self.events:
-            if event.is_alloc():
-                key = event.category.value
-                totals[key] = totals.get(key, 0) + event.size
-        return totals
+        return self.columns.category_bytes()
 
     # ------------------------------------------------------------------ #
     # Serialization (line-oriented JSON, mirroring the real profiler's logs)
@@ -164,6 +202,9 @@ class Trace:
         The encoding is canonical (sorted keys, fixed separators), so two
         traces serialize to the same bytes exactly when their contents are
         equal -- the property :meth:`digest` and the sweep cache rely on.
+        Rows are rendered straight from the columns (objects are never
+        materialized), through the same ``json.dumps`` call as always, so the
+        bytes are identical to the object-walking implementation.
         """
         header = {
             "metadata": asdict(self.metadata),
@@ -171,18 +212,33 @@ class Trace:
             "phases": [phase_to_dict(p) for p in self.phases],
         }
         yield json.dumps(header, sort_keys=True, separators=(",", ":"))
-        for event in self.events:
+        columns = self.columns
+        modules = columns.modules
+        tags = columns.tags
+        kind_values = tuple(kind.value for kind in KINDS)
+        category_values = tuple(category.value for category in CATEGORIES)
+        for kind, req_id, size, time, phase_index, module_index, dyn, category, tag_index in zip(
+            columns.kind.tolist(),
+            columns.req_id.tolist(),
+            columns.size.tolist(),
+            columns.time.tolist(),
+            columns.phase_index.tolist(),
+            columns.module_index.tolist(),
+            columns.dyn.tolist(),
+            columns.category.tolist(),
+            columns.tag_index.tolist(),
+        ):
             yield json.dumps(
                 {
-                    "kind": event.kind.value,
-                    "req_id": event.req_id,
-                    "size": event.size,
-                    "time": event.time,
-                    "phase": event.phase.index,
-                    "module": event.module,
-                    "dyn": event.dyn,
-                    "category": event.category.value,
-                    "tag": event.tag,
+                    "kind": kind_values[kind],
+                    "req_id": req_id,
+                    "size": size,
+                    "time": time,
+                    "phase": phase_index,
+                    "module": modules[module_index],
+                    "dyn": bool(dyn),
+                    "category": category_values[category],
+                    "tag": tags[tag_index],
                 },
                 sort_keys=True,
                 separators=(",", ":"),
@@ -194,35 +250,45 @@ class Trace:
 
     @classmethod
     def _from_lines(cls, lines) -> "Trace":
-        """Build a trace from an iterable of JSON lines (streaming parse)."""
+        """Build a trace from an iterable of JSON lines (streaming parse).
+
+        Parses straight into columns; event objects stay unmaterialized until
+        someone touches ``trace.events``.
+        """
         lines = iter(lines)
         try:
             header = json.loads(next(lines))
         except StopIteration:
             raise ValueError("empty trace serialization") from None
         phases = [phase_from_dict(entry) for entry in header["phases"]]
-        phase_by_index = {phase.index: phase for phase in phases}
-        events = []
+        builder = ColumnBuilder()
+        kind_codes = {kind.value: code for code, kind in enumerate(KINDS)}
+        category_codes = {
+            category.value: CATEGORY_CODES[category] for category in CATEGORIES
+        }
         for line in lines:
             if not line.strip():
                 continue
             record = json.loads(line)
-            events.append(
-                TraceEvent(
-                    kind=EventKind(record["kind"]),
-                    req_id=record["req_id"],
-                    size=record["size"],
-                    time=record["time"],
-                    phase=phase_by_index[record["phase"]],
-                    module=record["module"],
-                    dyn=record["dyn"],
-                    category=TensorCategory(record["category"]),
-                    tag=record["tag"],
-                )
+            builder.append(
+                kind_codes[record["kind"]],
+                record["req_id"],
+                record["size"],
+                record["time"],
+                record["phase"],
+                record["module"],
+                record["dyn"],
+                category_codes[record["category"]],
+                record["tag"],
             )
         metadata = TraceMetadata(**header["metadata"])
         module_spans = {name: tuple(span) for name, span in header["module_spans"].items()}
-        return cls(events=events, metadata=metadata, phases=phases, module_spans=module_spans)
+        return cls(
+            metadata=metadata,
+            phases=phases,
+            module_spans=module_spans,
+            columns=builder.build(),
+        )
 
     @classmethod
     def loads(cls, text: str) -> "Trace":
@@ -237,7 +303,7 @@ class Trace:
         Memoised: traces are treated as immutable once generated, and the
         plan cache computes this once per (trace, knob-combination) pair.
         """
-        cached = getattr(self, "_digest_cache", None)
+        cached = self._digest_cache
         if cached is None:
             hasher = hashlib.sha256()
             for line in self.iter_jsonl():

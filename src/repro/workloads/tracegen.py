@@ -25,6 +25,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
+from repro.core.columns import ALLOC, CATEGORY_CODES, FREE, ColumnBuilder
 from repro.core.events import EventKind, Phase, PhaseKind, TensorCategory, TraceEvent
 from repro.workloads.memory_model import MemoryModel, TensorSpec
 from repro.workloads.moe import ExpertRouter
@@ -48,6 +49,13 @@ from repro.workloads.training import TrainingConfig
 #: the trace metadata.
 TRACEGEN_VERSION = 4
 
+#: Fingerprints are pure functions of hashable frozen dataclasses, and they
+#: sit on hot paths (every memoised timeline lookup and sweep-cache probe
+#: re-derives one), so they are memoised.  Bounded: cleared wholesale when
+#: full -- a sweep touches far fewer distinct configs than the cap.
+_FINGERPRINT_MEMO: dict[tuple, str] = {}
+_FINGERPRINT_MEMO_MAX = 1024
+
 
 def config_fingerprint(
     config: TrainingConfig,
@@ -70,6 +78,14 @@ def config_fingerprint(
     """
     jitter = TraceGenerator.DEFAULT_SIZE_JITTER if size_jitter is None else tuple(size_jitter)
     skew = TraceGenerator.DEFAULT_ASYNC_FREE_SKEW if async_free_skew is None else int(async_free_skew)
+    try:
+        key = (config, int(seed), float(scale), int(rank), int(ep_rank), jitter, skew)
+        cached = _FINGERPRINT_MEMO.get(key)
+    except TypeError:  # unhashable custom config -- compute uncached
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
     payload = {
         "tracegen_version": TRACEGEN_VERSION,
         "config": asdict(config),
@@ -81,7 +97,12 @@ def config_fingerprint(
         "async_free_skew": skew,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    if key is not None:
+        if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_MAX:
+            _FINGERPRINT_MEMO.clear()
+        _FINGERPRINT_MEMO[key] = fingerprint
+    return fingerprint
 
 
 @dataclass
@@ -199,10 +220,10 @@ class TraceGenerator:
         )
         module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
         return Trace(
-            events=self._events,
             metadata=metadata,
             phases=self._phases,
             module_spans=module_spans,
+            columns=self._columns.build(),
         )
 
     # ------------------------------------------------------------------ #
@@ -230,7 +251,9 @@ class TraceGenerator:
         # repeated runs are byte-identical regardless), but the per-iteration
         # memo of gating decisions must not leak across generations.
         self._router: ExpertRouter | None = self._make_router()
-        self._events: list[TraceEvent] = []
+        # Events are emitted straight into columnar storage; TraceEvent
+        # objects are only materialized if a consumer touches trace.events.
+        self._columns: ColumnBuilder = ColumnBuilder()
         self._phases: list[Phase] = []
         self._clock = 0
         self._next_req_id = 0
@@ -310,18 +333,16 @@ class TraceGenerator:
         req_id = self._next_req_id
         self._next_req_id += 1
         time = self._tick()
-        self._events.append(
-            TraceEvent(
-                kind=EventKind.ALLOC,
-                req_id=req_id,
-                size=spec.size,
-                time=time,
-                phase=phase,
-                module=module,
-                dyn=dyn,
-                category=spec.category,
-                tag=spec.tag,
-            )
+        self._columns.append(
+            ALLOC,
+            req_id,
+            spec.size,
+            time,
+            phase.index,
+            module,
+            dyn,
+            CATEGORY_CODES[spec.category],
+            spec.tag,
         )
         self._touch_module(module, time)
         return _LiveTensor(req_id=req_id, spec=spec, module=module, dyn=dyn, free_module=free_module)
@@ -329,18 +350,16 @@ class TraceGenerator:
     def _free(self, tensor: _LiveTensor, phase: Phase, *, module: str | None = None) -> None:
         free_module = module if module is not None else (tensor.free_module or tensor.module)
         time = self._tick()
-        self._events.append(
-            TraceEvent(
-                kind=EventKind.FREE,
-                req_id=tensor.req_id,
-                size=tensor.spec.size,
-                time=time,
-                phase=phase,
-                module=free_module,
-                dyn=tensor.dyn,
-                category=tensor.spec.category,
-                tag=tensor.spec.tag,
-            )
+        self._columns.append(
+            FREE,
+            tensor.req_id,
+            tensor.spec.size,
+            time,
+            phase.index,
+            free_module,
+            tensor.dyn,
+            CATEGORY_CODES[tensor.spec.category],
+            tensor.spec.tag,
         )
         self._touch_module(free_module, time)
 

@@ -127,3 +127,64 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+    def test_timeline_summary(self, capsys):
+        assert main(["timeline", "gpt-tiny", "--pp", "2", "--microbatches", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration_seconds" in out
+        assert "binding_rank" in out
+
+    def test_timeline_unknown_model(self, capsys):
+        assert main(["timeline", "no-such-model"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_timeline_rejects_bad_parallelism(self, capsys):
+        assert main(["timeline", "gpt-tiny", "--pp", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_timeline_chrome_trace_export(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "timeline.json"
+        assert (
+            main(
+                [
+                    "timeline", "moe-tiny", "--pp", "2", "--ep", "2",
+                    "--microbatches", "2", "--comm-factor", "1.0",
+                    "--trace-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        names = {event["name"] for event in events if event["ph"] != "M"}
+        assert {"forward", "backward", "a2a_dispatch", "a2a_combine"} <= names
+        slices = [event for event in events if event["ph"] == "X"]
+        assert slices and all(event["dur"] > 0 for event in slices)
+        # One thread row per (pp, ep) coordinate, each labelled by metadata.
+        thread_names = {
+            event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {"pp0/ep0", "pp0/ep1", "pp1/ep0", "pp1/ep1"}
+        # Slice count matches the simulation's event count.
+        instants = [event for event in events if event["ph"] == "i"]
+        from repro.timeline import simulate_timeline
+        from repro.workloads.models import get_model
+        from repro.workloads.parallelism import ParallelismConfig
+        from repro.workloads.training import TrainingConfig
+
+        result = simulate_timeline(
+            TrainingConfig(
+                model=get_model("moe-tiny"),
+                parallelism=ParallelismConfig(
+                    pipeline_parallel=2, data_parallel=1, expert_parallel=2
+                ),
+                micro_batch_size=1,
+                num_microbatches=2,
+                moe_comm_factor=1.0,
+            )
+        )
+        assert len(slices) + len(instants) == result.num_events
