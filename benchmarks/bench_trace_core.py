@@ -38,8 +38,11 @@ import sys
 import time
 from pathlib import Path
 
+import dataclasses
+
 from repro.allocators.registry import create_allocator
 from repro.gpu.device import GIB, Device
+from repro.gpu.specs import get_gpu
 from repro.simulator.replay import replay_trace
 from repro.timeline.simulator import clear_timeline_memo, simulate_timeline
 from repro.workloads.models import get_model
@@ -153,8 +156,26 @@ def bench_preset(preset: str) -> dict:
         clear_timeline_memo()
         simulate_timeline(config, seed=0, scale=scale)
 
+    # Hierarchical pricing: a 2-node tiered fabric plus partial overlap takes
+    # the per-rank tier-mix a2a path instead of the flat single-rate branch.
+    tiered_gpu = dataclasses.replace(
+        get_gpu("A800-80GB"),
+        gpus_per_node=4,
+        intra_node_gbytes_per_sec=160.0,
+        inter_node_gbytes_per_sec=25.0,
+    )
+    tiered_config = config.with_(comm_overlap_factor=0.5)
+
+    def run_timeline_tiered():
+        clear_timeline_memo()
+        simulate_timeline(tiered_config, gpu=tiered_gpu, seed=0, scale=scale)
+
     clear_timeline_memo()
     timeline_events = simulate_timeline(config, seed=0, scale=scale).num_events
+    clear_timeline_memo()
+    tiered_events = simulate_timeline(
+        tiered_config, gpu=tiered_gpu, seed=0, scale=scale
+    ).num_events
 
     results = {
         "trace_build": _measure(run_build, num_events),
@@ -162,6 +183,7 @@ def bench_preset(preset: str) -> dict:
         "replay_native": _measure(make_replay("native"), num_events),
         "replay_caching": _measure(make_replay("torch2.3"), num_events),
         "timeline": _measure(run_timeline, timeline_events),
+        "timeline_tiered": _measure(run_timeline_tiered, tiered_events),
     }
     return results
 

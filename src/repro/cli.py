@@ -177,8 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "cluster description '<N>x<DEVICE>[@<GiB>]' (e.g. 8xA800-80GB@40) "
-            "when the first argument is a model name"
+            "cluster description '[<nodes>x]<N>x<DEVICE>[@<GiB>]' (e.g. "
+            "8xA800-80GB@40 or 2x8xA800-80GB) when the first argument is a "
+            "model name; the node form prices all-to-all on the tiered fabric"
         ),
     )
     search_parser.add_argument(
@@ -311,7 +312,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="MoE all-to-all comm factor (default: 0, comm-free)",
     )
     timeline_parser.add_argument(
+        "--overlap",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help=(
+            "fraction of each all-to-all hidden under expert compute, in "
+            "[0, 1] (default: 0, fully serialised)"
+        ),
+    )
+    timeline_parser.add_argument(
         "--gpu", default="A800-80GB", metavar="NAME", help="GPU spec (default: %(default)s)"
+    )
+    timeline_parser.add_argument(
+        "--gpus-per-node",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "ranks per node for the hierarchical fabric (default: the GPU "
+            "spec's; 0 = single node)"
+        ),
+    )
+    timeline_parser.add_argument(
+        "--intra-bw",
+        type=float,
+        default=None,
+        metavar="GBPS",
+        help="intra-node all-to-all bandwidth in GB/s (default: the GPU spec's)",
+    )
+    timeline_parser.add_argument(
+        "--inter-bw",
+        type=float,
+        default=None,
+        metavar="GBPS",
+        help="inter-node all-to-all bandwidth in GB/s (default: the GPU spec's)",
     )
     timeline_parser.add_argument(
         "--seed", type=int, default=0, metavar="N", help="router seed (default: 0)"
@@ -574,6 +609,9 @@ def _cmd_search(args) -> int:
 
 
 def _cmd_timeline(args) -> int:
+    from dataclasses import replace as dataclass_replace
+
+    from repro.gpu.specs import get_gpu
     from repro.timeline import simulate_timeline, write_chrome_trace
     from repro.workloads.models import get_model
     from repro.workloads.parallelism import ParallelismConfig
@@ -591,8 +629,21 @@ def _cmd_timeline(args) -> int:
             micro_batch_size=args.micro_batch_size,
             num_microbatches=args.microbatches,
             moe_comm_factor=args.comm_factor,
+            comm_overlap_factor=args.overlap,
         )
-        result = simulate_timeline(config, gpu=args.gpu, seed=args.seed, scale=args.scale)
+        gpu = get_gpu(args.gpu)
+        fabric = {
+            name: value
+            for name, value in (
+                ("gpus_per_node", args.gpus_per_node),
+                ("intra_node_gbytes_per_sec", args.intra_bw),
+                ("inter_node_gbytes_per_sec", args.inter_bw),
+            )
+            if value is not None
+        }
+        if fabric:
+            gpu = dataclass_replace(gpu, **fabric)
+        result = simulate_timeline(config, gpu=gpu, seed=args.seed, scale=args.scale)
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -28,7 +28,7 @@ from __future__ import annotations
 from repro.core.events import TensorCategory
 from repro.gpu.specs import GPUSpec, get_gpu
 from repro.simulator.throughput import ThroughputModel
-from repro.workloads.memory_model import MemoryModel, TensorSpec
+from repro.workloads.memory_model import ACT_BYTES, MemoryModel, TensorSpec
 from repro.workloads.tracegen import TraceGenerator
 from repro.workloads.training import TrainingConfig
 
@@ -126,27 +126,79 @@ def memory_lower_bound(
     return persistent + in_flight * _scaled_chunk_layers(config, scale) * per_layer
 
 
-def time_floor_seconds(config: TrainingConfig, gpu: GPUSpec | str) -> float:
-    """Seconds one iteration takes at best, for either timing backend.
+def _comm_floor_seconds(
+    config: TrainingConfig, gpu: GPUSpec, *, scale: float = 1.0
+) -> float:
+    """Minimum all-to-all seconds the timeline backend charges one rank.
+
+    The timeline emits one dispatch/combine collective per MoE layer
+    execution -- ``2 * num_microbatches * chunks * scaled_layers`` per rank --
+    and each collective's duration is at least the *balanced* routed bytes
+    (``tokens * top_k / ep``; the slowest participant can only carry more)
+    over the **fastest** tier (a tiered fabric's per-rank mix of two rates is
+    never faster than its best rate).  With a ``comm_overlap_factor`` of
+    ``w``, at most ``w`` of each collective hides under expert compute, so at
+    least ``1 - w`` of it extends the critical path.  Every inequality
+    under-counts, keeping the floor admissible.
+    """
+    model = config.model
+    factor = config.moe_comm_factor
+    if not model.is_moe or factor <= 0:
+        return 0.0
+    parallelism = config.parallelism
+    balanced_tokens = (
+        config.tokens_per_microbatch * model.moe_top_k / parallelism.expert_parallel
+    )
+    bytes_per_collective = factor * balanced_tokens * model.hidden_size * ACT_BYTES
+    seconds_per_collective = bytes_per_collective / (
+        gpu.fastest_tier_gbytes_per_sec * 1e9
+    )
+    chunks = parallelism.virtual_pipeline_chunks
+    collectives = 2 * config.num_microbatches * chunks * _scaled_chunk_layers(config, scale)
+    return (1.0 - config.comm_overlap_factor) * collectives * seconds_per_collective
+
+
+def time_floor_seconds(
+    config: TrainingConfig,
+    gpu: GPUSpec | str,
+    *,
+    timing: str = "analytical",
+    scale: float = 1.0,
+) -> float:
+    """Seconds one iteration takes at best, for the given timing backend.
 
     The analytical model's compute term with its compute/communication
     multipliers but *without* the pipeline-bubble divisor or allocator
     overhead; the timeline backend schedules the same per-phase costs and can
-    only add stalls on top.  Independent of ``scale`` (both backends price
-    the full model regardless of the trace down-scaling knob).
+    only add stalls on top.  For ``timing="timeline"`` the floor additionally
+    charges the backend's explicit all-to-all collectives at the fastest
+    fabric tier (see :func:`_comm_floor_seconds`) -- the analytical backend
+    prices communication through its multiplier instead, so the extra term
+    must stay off its floor to remain admissible.  The compute term is
+    independent of ``scale``; the collective count is not (the timeline emits
+    one per *scaled* layer execution).
     """
     gpu = get_gpu(gpu)
     model = ThroughputModel(gpu)
     per_gpu_flops = model.model_flops_per_iteration(config) / config.parallelism.num_gpus
-    return (
+    floor = (
         per_gpu_flops
         * model.compute_multiplier(config)
         * model.communication_multiplier(config)
         / gpu.achievable_flops
     )
+    if timing == "timeline":
+        floor += _comm_floor_seconds(config, gpu, scale=scale)
+    return floor
 
 
-def throughput_upper_bound(config: TrainingConfig, gpu: GPUSpec | str) -> float:
+def throughput_upper_bound(
+    config: TrainingConfig,
+    gpu: GPUSpec | str,
+    *,
+    timing: str = "analytical",
+    scale: float = 1.0,
+) -> float:
     """Admissible upper bound on ``tokens_per_second`` for the candidate.
 
     Infinite (bound disabled, the candidate is never pruned on time) when the
@@ -154,7 +206,7 @@ def throughput_upper_bound(config: TrainingConfig, gpu: GPUSpec | str) -> float:
     unusable bound must fail open, not kill candidates.
     """
     try:
-        floor = time_floor_seconds(config, gpu)
+        floor = time_floor_seconds(config, gpu, timing=timing, scale=scale)
     except ValueError:
         return float("inf")
     if floor <= 0:

@@ -7,11 +7,18 @@ and the compute/bandwidth ceilings, so unknown devices are rejected), the
 number of devices, and optionally a uniform capacity override or a
 heterogeneous per-rank budget map.
 
-The compact string form the CLI accepts is ``<N>x<DEVICE>[@<GiB>]``::
+The compact string form the CLI accepts is ``[<nodes>x]<N>x<DEVICE>[@<GiB>]``::
 
     8xA800-80GB          # 8 devices at the spec's 80 GiB
     8xA800-80GB@40       # same devices capped at 40 GiB each
     4xH200-141GB
+    2x8xA800-80GB@40     # 2 nodes of 8 devices each (16 total), 40 GiB caps
+
+The node-count form sets :attr:`ClusterSpec.num_nodes`; ``num_devices`` is
+always the cluster *total*.  Multi-node clusters feed ``gpus_per_node`` (and,
+via the JSON form's ``intra_node_gbytes_per_sec`` /
+``inter_node_gbytes_per_sec`` fields, the tier bandwidths) into the timeline's
+hierarchical fabric through :attr:`ClusterSpec.fabric`.
 
 Budget maps (different budgets per rank) are only expressible through the
 JSON/dict form: ``{"devices": "8xA800-80GB", "device_memory_by_rank":
@@ -31,12 +38,21 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from dataclasses import replace as dataclass_replace
+
 from repro.gpu.specs import GPU_SPECS, GPUSpec, get_gpu
 from repro.simulator.runner import validate_capacity_gib
 from repro.sweep.spec import _validate_budget_map
 
-#: ``8xA800-80GB`` / ``8xA800-80GB@40`` -- count, device name, optional GiB.
-_CLUSTER_RE = re.compile(r"^(?P<count>\d+)x(?P<device>[^@]+?)(?:@(?P<gib>[0-9.]+))?$")
+#: ``8xA800-80GB`` / ``2x8xA800-80GB@40`` -- optional node count, per-node (or
+#: total) device count, device name, optional GiB.  The gib group is a strict
+#: decimal (one optional dot) so malformed capacities like ``@1.2.3`` fail the
+#: match and get the documented "cannot parse cluster ..." message instead of
+#: a bare float() error.
+_CLUSTER_RE = re.compile(
+    r"^(?:(?P<nodes>\d+)x)?(?P<count>\d+)x(?P<device>[^@]+?)"
+    r"(?:@(?P<gib>\d+(?:\.\d+)?))?$"
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,13 @@ class ClusterSpec:
     #: Heterogeneous per-rank budgets as sorted ``(rank label, GiB)`` pairs
     #: (hashable); empty means every rank gets the uniform budget.
     device_memory_by_rank: tuple[tuple[str, float], ...] = field(default=())
+    #: Number of nodes the devices are spread over; ``num_devices`` stays the
+    #: cluster total.  1 (the default) is the flat single-tier topology.
+    num_nodes: int = 1
+    #: Optional tier-bandwidth overrides (GB/s) applied onto the device spec
+    #: when pricing timelines; ``None`` keeps the spec's flat a2a rate.
+    intra_node_gbytes_per_sec: float | None = None
+    inter_node_gbytes_per_sec: float | None = None
 
     def __post_init__(self) -> None:
         get_gpu(self.device_name)  # raises for unknown devices
@@ -59,6 +82,18 @@ class ClusterSpec:
         validate_capacity_gib(self.device_capacity_gib)
         if self.device_memory_by_rank:
             _validate_budget_map(dict(self.device_memory_by_rank), "device_memory_by_rank")
+        if not isinstance(self.num_nodes, int) or isinstance(self.num_nodes, bool) \
+                or self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be a positive int, got {self.num_nodes!r}")
+        if self.num_devices % self.num_nodes != 0:
+            raise ValueError(
+                f"num_devices ({self.num_devices}) must divide evenly into "
+                f"num_nodes ({self.num_nodes})"
+            )
+        for name in ("intra_node_gbytes_per_sec", "inter_node_gbytes_per_sec"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, (int, float)) or value <= 0):
+                raise ValueError(f"{name} must be a positive number, got {value!r}")
 
     @property
     def gpu(self) -> GPUSpec:
@@ -75,9 +110,44 @@ class ClusterSpec:
         return {label: gib for label, gib in self.device_memory_by_rank}
 
     @property
+    def gpus_per_node(self) -> int:
+        """Devices per node; 0 for the degenerate single-node topology."""
+        if self.num_nodes <= 1:
+            return 0
+        return self.num_devices // self.num_nodes
+
+    @property
+    def fabric(self) -> dict:
+        """GPUSpec field overrides describing this cluster's network fabric.
+
+        Empty for a flat single-node cluster with no bandwidth overrides --
+        the form :func:`repro.simulator.runner.run_job` accepts as its
+        ``fabric`` argument, and the payload a sweep's ``fabric`` axis sets.
+        """
+        overrides: dict = {}
+        if self.num_nodes > 1:
+            overrides["gpus_per_node"] = self.gpus_per_node
+        if self.intra_node_gbytes_per_sec is not None:
+            overrides["intra_node_gbytes_per_sec"] = self.intra_node_gbytes_per_sec
+        if self.inter_node_gbytes_per_sec is not None:
+            overrides["inter_node_gbytes_per_sec"] = self.inter_node_gbytes_per_sec
+        return overrides
+
+    @property
+    def fabric_gpu(self) -> GPUSpec:
+        """The device spec with this cluster's fabric overrides applied."""
+        fabric = self.fabric
+        if not fabric:
+            return self.gpu
+        return dataclass_replace(self.gpu, **fabric)
+
+    @property
     def label(self) -> str:
-        """The compact ``<N>x<DEVICE>[@<GiB>]`` rendering."""
-        text = f"{self.num_devices}x{self.device_name}"
+        """The compact ``[<nodes>x]<N>x<DEVICE>[@<GiB>]`` rendering."""
+        if self.num_nodes > 1:
+            text = f"{self.num_nodes}x{self.gpus_per_node}x{self.device_name}"
+        else:
+            text = f"{self.num_devices}x{self.device_name}"
         if self.device_capacity_gib is not None:
             text += f"@{self.device_capacity_gib:g}"
         return text
@@ -87,18 +157,22 @@ class ClusterSpec:
     # ------------------------------------------------------------------ #
     @classmethod
     def parse(cls, text: str) -> "ClusterSpec":
-        """Parse the compact ``<N>x<DEVICE>[@<GiB>]`` cluster string."""
+        """Parse the compact ``[<nodes>x]<N>x<DEVICE>[@<GiB>]`` cluster string."""
         match = _CLUSTER_RE.match(text.strip())
         if not match:
             raise ValueError(
-                f"cannot parse cluster {text!r}; expected '<N>x<DEVICE>[@<GiB>]' "
-                f"like '8xA800-80GB' or '8xA800-80GB@40'"
+                f"cannot parse cluster {text!r}; expected "
+                f"'[<nodes>x]<N>x<DEVICE>[@<GiB>]' like '8xA800-80GB', "
+                f"'8xA800-80GB@40' or '2x8xA800-80GB'"
             )
         capacity = match.group("gib")
+        nodes = int(match.group("nodes")) if match.group("nodes") else 1
+        per_node = int(match.group("count"))
         return cls(
             device_name=match.group("device"),
-            num_devices=int(match.group("count")),
+            num_devices=nodes * per_node,
             device_capacity_gib=float(capacity) if capacity is not None else None,
+            num_nodes=nodes,
         )
 
     @classmethod
@@ -118,6 +192,8 @@ class ClusterSpec:
             raise ValueError(f"cluster must be a string or mapping, got {data!r}")
         data = dict(data)
         budgets = data.pop("device_memory_by_rank", None) or {}
+        intra = data.pop("intra_node_gbytes_per_sec", None)
+        inter = data.pop("inter_node_gbytes_per_sec", None)
         if "devices" in data:
             base = cls.parse(data.pop("devices"))
             if data:
@@ -127,13 +203,17 @@ class ClusterSpec:
             device_name = base.device_name
             num_devices = base.num_devices
             capacity = base.device_capacity_gib
+            num_nodes = base.num_nodes
         else:
-            unknown = set(data) - {"device_name", "num_devices", "device_capacity_gib"}
+            unknown = set(data) - {
+                "device_name", "num_devices", "device_capacity_gib", "num_nodes",
+            }
             if unknown:
                 raise ValueError(f"unknown cluster fields: {', '.join(sorted(unknown))}")
             device_name = data.get("device_name", "A800-80GB")
             num_devices = data.get("num_devices", 1)
             capacity = data.get("device_capacity_gib")
+            num_nodes = data.get("num_nodes", 1)
         return cls(
             device_name=device_name,
             num_devices=num_devices,
@@ -141,6 +221,9 @@ class ClusterSpec:
             device_memory_by_rank=tuple(
                 sorted((str(key), float(value)) for key, value in budgets.items())
             ),
+            num_nodes=num_nodes,
+            intra_node_gbytes_per_sec=intra,
+            inter_node_gbytes_per_sec=inter,
         )
 
     @classmethod
@@ -148,9 +231,15 @@ class ClusterSpec:
         return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "device_name": self.device_name,
             "num_devices": self.num_devices,
             "device_capacity_gib": self.device_capacity_gib,
             "device_memory_by_rank": self.budget_map(),
+            "num_nodes": self.num_nodes,
         }
+        if self.intra_node_gbytes_per_sec is not None:
+            data["intra_node_gbytes_per_sec"] = self.intra_node_gbytes_per_sec
+        if self.inter_node_gbytes_per_sec is not None:
+            data["inter_node_gbytes_per_sec"] = self.inter_node_gbytes_per_sec
+        return data

@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from pathlib import Path
 
 from repro.gpu.device import GIB
+from repro.gpu.specs import get_gpu
 from repro.search.bounds import memory_lower_bound, throughput_upper_bound
 from repro.search.space import SearchSpec
 from repro.simulator.runner import (
@@ -54,7 +55,10 @@ from repro.workloads.tracegen import config_fingerprint
 
 #: Version of the search algorithm + result schema; bump when prune logic or
 #: the SearchResult serialization changes so stale goldens fail loudly.
-SEARCH_VERSION = 1
+#: Version 2: the timeline backend injects per-phase allocator overhead into
+#: phase durations (shifting measured throughput) and the upper bound prices
+#: the timing backend's fabric (fastest tier + collective floor).
+SEARCH_VERSION = 2
 
 
 @dataclass
@@ -268,9 +272,9 @@ def search_points(
     )
 
     # Group points by priced configuration: every allocator/knob cell of one
-    # (config, device, budgets, ranks, timing) shares a memory verdict and a
-    # throughput bound, and the timeline memoisation means evaluating them
-    # together reuses one simulation.
+    # (config, device, budgets, ranks, timing, fabric) shares a memory verdict
+    # and a throughput bound, and the timeline memoisation means evaluating
+    # them together reuses one simulation.
     groups: dict[tuple, list[SweepPoint]] = {}
     for point in points:
         key = (
@@ -280,6 +284,7 @@ def search_points(
             point.device_memory_by_rank,
             point.ranks,
             point.timing,
+            point.fabric,
         )
         groups.setdefault(key, []).append(point)
 
@@ -294,7 +299,20 @@ def search_points(
                     _prune_record(point, "memory_bound", **verdict) for point in group
                 )
                 continue
-        bound = throughput_upper_bound(head.config, head.device_name)
+        # Bound against the fabric the candidate is actually timed on: the
+        # tiered pricing must stay admissible (the floor charges the fastest
+        # tier), and the extra collective floor only applies to the backend
+        # that emits explicit collectives.
+        try:
+            gpu = get_gpu(head.device_name)
+            if head.fabric:
+                gpu = dataclass_replace(gpu, **dict(head.fabric))
+        except (ValueError, TypeError):
+            bound = float("inf")  # unusable bound fails open, never prunes
+        else:
+            bound = throughput_upper_bound(
+                head.config, gpu, timing=head.timing, scale=head.scale
+            )
         survivors.append((bound, head.index, group))
 
     if exhaustive:

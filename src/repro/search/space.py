@@ -284,6 +284,10 @@ class SearchSpec:
         ] or [()]
 
         points: list[SweepPoint] = []
+        # Every candidate is timed on the cluster's network fabric: multi-node
+        # clusters set gpus_per_node (plus any tier-bandwidth overrides), so
+        # tiered all-to-all pricing flows into the throughput ranking.
+        fabric = tuple(sorted(self.cluster.fabric.items()))
         for parallelism in self._layouts():
             dp = parallelism.data_parallel
             budgets = self._candidate_budgets(parallelism)
@@ -322,6 +326,7 @@ class SearchSpec:
                                 stalloc_overrides=overrides,
                                 device_memory_by_rank=budgets,
                                 timing=self.timing,
+                                fabric=fabric,
                             )
                         )
         return points

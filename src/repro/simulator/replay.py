@@ -43,7 +43,10 @@ class ReplayResult:
             "allocator": self.allocator_name,
             "success": self.success,
             "events_replayed": self.events_replayed,
-            "overhead_seconds": round(self.overhead_seconds, 4),
+            # Full precision: as_dict feeds sweep rows and compare diffs, and
+            # rounding is display-only (results._fmt).  Sub-100us allocator
+            # overheads must survive the round trip.
+            "overhead_seconds": self.overhead_seconds,
         }
         data.update(self.metrics.as_dict())
         if not self.success:

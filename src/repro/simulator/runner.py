@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 
 from repro.allocators.base import Allocator
 from repro.allocators.registry import available_allocators, create_allocator
@@ -83,11 +83,17 @@ def _estimate_throughput(
         # shapes, so a module-level import here would be circular.
         from repro.timeline import simulate_timeline
 
-        timeline = simulate_timeline(config, gpu=gpu, seed=seed, scale=scale)
-        return (
-            timeline.to_estimate(allocator_overhead_seconds=allocator_overhead_seconds),
-            timeline,
+        # The overhead is injected into the simulated phase durations (so
+        # allocator cost rides the schedule's dependency structure); the
+        # estimate must therefore NOT add it again on top.
+        timeline = simulate_timeline(
+            config,
+            gpu=gpu,
+            seed=seed,
+            scale=scale,
+            allocator_overhead_seconds=allocator_overhead_seconds,
         )
+        return timeline.to_estimate(), timeline
     estimate = ThroughputModel(gpu).estimate(
         config, allocator_overhead_seconds=allocator_overhead_seconds
     )
@@ -947,6 +953,7 @@ def run_job(
     cache=None,
     jobs: int | None = None,
     traces: dict | None = None,
+    fabric: dict | None = None,
 ) -> JobRun:
     """Run one whole-job measurement: every requested rank, one allocator.
 
@@ -972,6 +979,13 @@ def run_job(
     budgets are split so every replay runs against its own rank's device, and
     the binding rank becomes the rank with the highest utilization of its
     budget rather than the raw peak-memory rank.
+
+    ``fabric`` optionally customises the device's network fabric for the
+    timing estimate: a mapping of :class:`~repro.gpu.specs.GPUSpec` field
+    overrides (``gpus_per_node``, ``intra_node_gbytes_per_sec``,
+    ``inter_node_gbytes_per_sec``) applied over the stock spec, so a tiered
+    2-node cluster prices its all-to-alls hierarchically.  Memory replay is
+    fabric-independent; only the throughput backend sees the override.
     """
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
     validate_timing(timing)
@@ -1040,6 +1054,11 @@ def run_job(
     timeline = None
     if with_throughput:
         gpu = GPU_SPECS.get(device_name)
+        if gpu is not None and fabric:
+            try:
+                gpu = dataclass_replace(gpu, **dict(fabric))
+            except TypeError as error:
+                raise ValueError(f"unknown fabric field: {error}") from None
         if gpu is not None:
             # The pipeline advances at the pace of its slowest rank, so the
             # job-level estimate charges the worst per-rank allocator overhead.

@@ -196,6 +196,7 @@ def execute_point(
         cache=point_cache,
         jobs=1,
         traces=traces,
+        fabric=dict(point.fabric),
     )
     row = _point_row(point, job, time.perf_counter() - started)
     if cache is not None and result_key is not None:

@@ -136,6 +136,11 @@ def _fmt(value) -> str:
             return "nan"
         if math.isinf(value):
             return "inf" if value > 0 else "-inf"
+        if value != 0.0 and abs(value) < 5e-4:
+            # Sub-rounding magnitudes (e.g. sub-100us allocator overheads)
+            # would render as "0.000"; show them in scientific notation so
+            # they stay visible without widening every other column.
+            return f"{value:.3e}"
         return f"{value:.3f}"
     if value is None:
         return ""

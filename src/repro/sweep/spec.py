@@ -50,8 +50,18 @@ CONFIG_AXES = frozenset(
 
 #: Grid axes with special handling during expansion.  ``device_memory_by_rank``
 #: sweeps heterogeneous per-rank budget *maps* (each grid value is one
-#: ``{rank label: GiB}`` mapping, or null for the uniform device).
-SPECIAL_AXES = frozenset({"model", "preset", "seed", "scale", "device_memory_by_rank"})
+#: ``{rank label: GiB}`` mapping, or null for the uniform device);  ``fabric``
+#: sweeps network-fabric override maps (each grid value is one
+#: ``{GPUSpec fabric field: value}`` mapping, or null for the device's flat
+#: single-tier fabric).
+SPECIAL_AXES = frozenset(
+    {"model", "preset", "seed", "scale", "device_memory_by_rank", "fabric"}
+)
+
+#: GPUSpec fields a ``fabric`` override map may set (see repro.gpu.specs).
+FABRIC_FIELDS = frozenset(
+    {"gpus_per_node", "intra_node_gbytes_per_sec", "inter_node_gbytes_per_sec"}
+)
 
 #: STAlloc ablation knobs accepted in ``stalloc_grid``.
 STALLOC_AXES = frozenset(f.name for f in dataclass_fields(STAllocConfig))
@@ -85,17 +95,31 @@ class SweepPoint:
     #: ``"timeline"`` simulator (default) or the closed-form ``"analytical"``
     #: model.
     timing: str = "timeline"
+    #: Network-fabric overrides applied onto the device's GPUSpec when timing
+    #: this point: sorted ``(field, value)`` pairs over
+    #: :data:`FABRIC_FIELDS` (hashable + picklable); empty keeps the device's
+    #: flat single-tier fabric.
+    fabric: tuple[tuple[str, object], ...] = ()
     #: Row-label bit for a swept ``device_memory_by_rank`` axis (e.g.
     #: ``"mem=0:40"``); empty when budgets were not a grid axis.  Kept off
     #: the config's own label on purpose: the label feeds the trace
     #: fingerprint, and budgets never change trace content -- only the
     #: capacity each replay runs against.
     budget_label: str = ""
+    #: Row-label bit for a swept ``fabric`` axis (e.g. ``"fabric=gpn4"``);
+    #: empty when the fabric was not a grid axis.  Off the config label for
+    #: the same reason as ``budget_label``: fabric shapes timing, never trace
+    #: content.
+    fabric_label: str = ""
 
     @property
     def row_label(self) -> str:
         """The ``config`` column of this point's result row."""
-        bits = [bit for bit in (self.config.label, self.budget_label) if bit]
+        bits = [
+            bit
+            for bit in (self.config.label, self.budget_label, self.fabric_label)
+            if bit
+        ]
         return "/".join(bits) or self.config.describe()
 
     @property
@@ -125,6 +149,7 @@ class SweepPoint:
                 label: gib for label, gib in self.device_memory_by_rank
             },
             "timing": self.timing,
+            "fabric": {name: value for name, value in self.fabric},
         }
 
 
@@ -182,6 +207,42 @@ def _budget_label(budgets: dict | None) -> str:
     return f"mem={parts}"
 
 
+def _validate_fabric(fabric, context: str) -> None:
+    """Validate one ``{GPUSpec fabric field: value}`` override mapping."""
+    if not isinstance(fabric, dict):
+        raise ValueError(f"{context} must map fabric fields to values, got {fabric!r}")
+    for key, value in fabric.items():
+        if key not in FABRIC_FIELDS:
+            raise ValueError(
+                f"{context} key {key!r} is not a fabric field; expected one of "
+                f"{sorted(FABRIC_FIELDS)}"
+            )
+        if key == "gpus_per_node":
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"{context}[{key!r}] must be a non-negative int, got {value!r}"
+                )
+        elif isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"{context}[{key!r}] must be a positive bandwidth (GB/s), got {value!r}"
+            )
+
+
+def _fabric_label(fabric: dict | None) -> str:
+    """Compact row label of one swept fabric map, e.g. ``fabric=gpn4,intra160``."""
+    if not fabric:
+        return "fabric=flat"
+    short = {
+        "gpus_per_node": "gpn",
+        "intra_node_gbytes_per_sec": "intra",
+        "inter_node_gbytes_per_sec": "inter",
+    }
+    parts = ",".join(
+        f"{short[key]}{fabric[key]:g}" for key in sorted(fabric, key=short.__getitem__)
+    )
+    return f"fabric={parts}"
+
+
 @dataclass
 class SweepSpec:
     """A declarative grid of TrainingConfig fields x allocators x STAlloc knobs."""
@@ -213,6 +274,13 @@ class SweepSpec:
     #: Timing backend for the throughput columns: ``"timeline"`` (the
     #: discrete-event simulator, default) or ``"analytical"`` (closed form).
     timing: str = "timeline"
+    #: Network-fabric overrides applied onto the device spec when timing every
+    #: point, e.g. ``{"gpus_per_node": 8, "inter_node_gbytes_per_sec": 25}``;
+    #: ``None`` keeps the device's flat single-tier fabric.  Also available
+    #: as a *grid axis*: ``"grid": {"fabric": [null, {...}]}`` sweeps whole
+    #: override maps (null = the flat fabric), overriding this spec-level
+    #: value per cell.
+    fabric: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.allocators:
@@ -235,6 +303,8 @@ class SweepSpec:
                 )
         if self.device_memory_by_rank is not None:
             _validate_budget_map(self.device_memory_by_rank, "device_memory_by_rank")
+        if self.fabric is not None:
+            _validate_fabric(self.fabric, "fabric")
         known_allocators = set(available_allocators()) | STALLOC_ALLOCATORS
         for allocator in self.allocators:
             if allocator not in known_allocators:
@@ -257,6 +327,11 @@ class SweepSpec:
                     _validate_budget_map(
                         budgets, f"grid device_memory_by_rank[{index}]"
                     )
+            if axis == "fabric":
+                for index, fabric in enumerate(values):
+                    if fabric is None:
+                        continue  # null = the flat fabric for this cell
+                    _validate_fabric(fabric, f"grid fabric[{index}]")
         for axis, values in self.stalloc_grid.items():
             if axis not in STALLOC_AXES:
                 raise ValueError(
@@ -326,6 +401,7 @@ class SweepSpec:
                 else None
             ),
             "timing": self.timing,
+            "fabric": dict(self.fabric) if self.fabric is not None else None,
         }
 
     # ------------------------------------------------------------------ #
@@ -357,6 +433,7 @@ class SweepSpec:
 
         points: list[SweepPoint] = []
         budget_axis = "device_memory_by_rank" in self.grid
+        fabric_axis = "fabric" in self.grid
         for combo in itertools.product(*value_lists):
             assignment = dict(zip(axes, combo))
             seed = assignment.pop("seed", self.seed)
@@ -366,6 +443,9 @@ class SweepSpec:
                 if budget_axis
                 else self.device_memory_by_rank
             )
+            cell_fabric = (
+                assignment.pop("fabric") if fabric_axis else self.fabric
+            )
             config = self._build_config(assignment)
             ranks = self._resolve_ranks(config)
             budgets = tuple(
@@ -374,6 +454,7 @@ class SweepSpec:
                     for key, value in (cell_budgets or {}).items()
                 )
             )
+            fabric = tuple(sorted((cell_fabric or {}).items()))
             for allocator in self.allocators:
                 for overrides in stalloc_combos if allocator in STALLOC_ALLOCATORS else [()]:
                     points.append(
@@ -389,10 +470,12 @@ class SweepSpec:
                             stalloc_overrides=overrides,
                             device_memory_by_rank=budgets,
                             timing=self.timing,
-                            # Swept budget maps label the row, not the
-                            # config: the config label feeds the trace
-                            # fingerprint and budgets don't shape traces.
+                            fabric=fabric,
+                            # Swept budget/fabric maps label the row, not
+                            # the config: the config label feeds the trace
+                            # fingerprint and neither shapes trace content.
                             budget_label=_budget_label(cell_budgets) if budget_axis else "",
+                            fabric_label=_fabric_label(cell_fabric) if fabric_axis else "",
                         )
                     )
         return points
@@ -499,6 +582,7 @@ def _grid_label(preset: str | None, assignment: dict) -> str:
         "virtual_pipeline_chunks": "vpp",
         "moe_imbalance": "imb",
         "moe_comm_factor": "comm",
+        "comm_overlap_factor": "ovl",
     }
     for axis in assignment:
         name = short.get(axis, axis)
@@ -603,6 +687,39 @@ SWEEP_PRESETS: dict[str, dict] = {
         "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
         "base": {"num_microbatches": 2, "micro_batch_size": 1, "moe_imbalance": 0.6},
         "grid": {"moe_comm_factor": [0.0, 0.5, 1.0]},
+        "allocators": ["torch2.3"],
+        "ranks": "all",
+        "timing": "timeline",
+    },
+    # Hierarchical-fabric smoke: the skewed MoE job timed on a flat device
+    # versus a tiered 2-node cluster (4 GPUs/node, NVLink-class intra at 160
+    # GB/s, IB-class inter at 25 GB/s), crossed with the comm/compute overlap
+    # factor.  The EP groups span nodes under the tiered fabric, so its rows
+    # must show strictly larger comm_seconds than the flat rows, while
+    # raising the overlap factor must shrink iteration_seconds without
+    # touching comm_seconds (overlap hides communication, it does not erase
+    # it).  Runs in the CI compare gate next to timeline-smoke.
+    "fabric-smoke": {
+        "name": "fabric-smoke",
+        "model": "moe-tiny",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 4, "expert_parallel": 4},
+        "base": {
+            "num_microbatches": 2,
+            "micro_batch_size": 1,
+            "moe_imbalance": 0.6,
+            "moe_comm_factor": 1.0,
+        },
+        "grid": {
+            "fabric": [
+                None,
+                {
+                    "gpus_per_node": 4,
+                    "intra_node_gbytes_per_sec": 160,
+                    "inter_node_gbytes_per_sec": 25,
+                },
+            ],
+            "comm_overlap_factor": [0.0, 0.5],
+        },
         "allocators": ["torch2.3"],
         "ranks": "all",
         "timing": "timeline",

@@ -14,7 +14,11 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from repro.gpu.specs import NodeTopology
 from repro.timeline.simulator import TimelineResult
+
+#: Event names priced as all-to-all collectives (tier-annotated on export).
+_COMM_NAMES = frozenset({"a2a_dispatch", "a2a_combine"})
 
 #: Perfetto colour grouping: slice categories by what the rank is doing.
 _CATEGORY = {
@@ -38,8 +42,17 @@ def chrome_trace_dict(result: TimelineResult) -> dict:
     Thread ids follow the sorted rank order; thread-name metadata labels each
     row ``pp<stage>/ep<rank>`` so Perfetto's track names read like the paper's
     rank coordinates.  Zero-duration markers (init/optimizer) become instant
-    ("i") events so they stay visible at any zoom level.
+    ("i") events so they stay visible at any zoom level.  On a multi-node
+    fabric every a2a slice carries a ``tier`` arg: ``"intra"`` when the
+    stage's expert-parallel group sits on one node, ``"mixed"`` when it spans
+    nodes (part of the bytes crossed the slow tier).
     """
+    coordinates = [(rank.rank + (0,))[:2] for rank in result.ranks]
+    topology = NodeTopology(
+        pipeline_parallel=max((stage for stage, _ in coordinates), default=0) + 1,
+        expert_parallel=max((ep for _, ep in coordinates), default=0) + 1,
+        gpus_per_node=result.gpus_per_node,
+    )
     events: list[dict] = [
         {
             "ph": "M",
@@ -60,14 +73,18 @@ def chrome_trace_dict(result: TimelineResult) -> dict:
                 "args": {"name": f"pp{stage}/ep{ep}"},
             }
         )
+        spans = topology.ep_group_spans_nodes(stage)
         for kind, start, duration, microbatch, chunk, layer in rank.iter_records():
+            args = {"microbatch": microbatch, "chunk": chunk, "layer": layer}
+            if kind in _COMM_NAMES:
+                args["tier"] = "mixed" if spans else "intra"
             event = {
                 "name": kind,
                 "cat": _CATEGORY.get(kind, "other"),
                 "pid": 0,
                 "tid": tid,
                 "ts": start * _SECONDS_TO_US,
-                "args": {"microbatch": microbatch, "chunk": chunk, "layer": layer},
+                "args": args,
             }
             if duration > 0:
                 event["ph"] = "X"
@@ -81,6 +98,7 @@ def chrome_trace_dict(result: TimelineResult) -> dict:
         "displayTimeUnit": "ms",
         "otherData": {
             "gpu": result.gpu_name,
+            "gpus_per_node": result.gpus_per_node,
             "iteration_seconds": result.iteration_seconds,
             "timeline_version": result.timeline_version,
         },

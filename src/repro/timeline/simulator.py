@@ -30,10 +30,32 @@ share of ``model_flops / num_gpus``, with the same recomputation and
 tensor-parallel multipliers), so with a balanced router and no communication
 the simulated iteration converges to the closed-form estimate -- the
 differential property the test suite pins.  INIT and OPTIMIZER phases are
-zero-duration markers, mirroring the analytical model's scope; allocator
-overhead is added downstream via
-:meth:`~repro.simulator.throughput.ThroughputEstimate.total_seconds`, exactly
-as for the analytical backend.
+zero-duration markers, mirroring the analytical model's scope.
+
+Three cluster-shaped refinements (TIMELINE_VERSION 2):
+
+* **tiered fabric** -- when the :class:`~repro.gpu.specs.GPUSpec` carries
+  distinct intra-/inter-node bandwidths and a node size, each all-to-all
+  participant's duration prices its routed bytes at its *tier mix* (the
+  share of EP peers on its node moves at the fast tier, the rest at the slow
+  tier, per :class:`~repro.gpu.specs.NodeTopology`); the synchronising
+  collective still completes with its slowest participant.  A single-node or
+  equal-tier spec takes the flat single-tier path, bit-identical to the
+  version-1 simulator;
+* **communication/compute overlap** -- ``TrainingConfig.comm_overlap_factor``
+  hides up to that fraction of each collective under the expert compute that
+  consumes it: the expert FFN starts ``min(factor * a2a, expert)`` seconds
+  before the collective retires.  The a2a event keeps its full duration (so
+  ``comm_seconds`` and stall accounting stay honest); only the critical path
+  shortens;
+* **per-phase allocator overhead** -- ``allocator_overhead_seconds`` (the
+  replay's measured per-iteration driver-call cost) is split evenly over the
+  ``2 * num_microbatches * chunks`` forward/backward phase units and added to
+  each phase's duration *inside* the schedule, so allocator choice moves
+  ``iteration_seconds`` through the dependency structure (a slower allocator
+  deepens pipeline bubbles downstream) instead of shifting a constant.  With
+  no bubbles (pp == 1, dense) the injection degenerates to the old additive
+  ``iteration + overhead`` exactly.
 """
 
 from __future__ import annotations
@@ -45,7 +67,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.events import PhaseKind
-from repro.gpu.specs import GPUSpec, get_gpu
+from repro.gpu.specs import GPUSpec, NodeTopology, get_gpu
 from repro.simulator.throughput import ThroughputEstimate, ThroughputModel
 from repro.workloads.memory_model import ACT_BYTES
 from repro.workloads.moe import ExpertRouter
@@ -56,7 +78,12 @@ from repro.workloads.training import TrainingConfig
 #: Bump whenever the simulator's event stream changes for an unchanged
 #: configuration, so the golden timeline fixtures fail loudly (and get
 #: regenerated) instead of drifting silently.
-TIMELINE_VERSION = 1
+#: Version 2: hierarchical network fabric (per-tier all-to-all pricing via
+#: NodeTopology), comm/compute overlap (``comm_overlap_factor``), per-phase
+#: allocator-overhead injection, and ``gpus_per_node`` in the serialized
+#: header.  Degenerate configurations (single-node/equal-tier, zero overlap,
+#: zero overhead) reproduce version-1 event durations bit-exactly.
+TIMELINE_VERSION = 2
 
 #: Event kinds in code order (the ``kind`` column of the record buffers).
 KIND_NAMES = (
@@ -257,6 +284,14 @@ class TimelineResult:
     num_gpus: int
     tokens_per_iteration: int
     peak_tflops: float
+    #: Node size of the simulated fabric (0 = single node); lets consumers
+    #: (Chrome-trace export) rebuild the NodeTopology for tier annotations.
+    gpus_per_node: int = 0
+    #: Allocator overhead injected into the phase durations (0 when the
+    #: simulation ran overhead-free); already part of
+    #: :attr:`iteration_seconds`, recorded so downstream accounting never
+    #: charges it twice.
+    allocator_overhead_seconds: float = 0.0
     timeline_version: int = TIMELINE_VERSION
 
     @property
@@ -295,10 +330,11 @@ class TimelineResult:
     def mfu(self) -> float:
         """Model-FLOPs utilisation implied by the simulated iteration time.
 
-        Pure simulation: allocator overhead is not part of the timeline (it
-        is added downstream via :meth:`to_estimate`), so this is the
-        zero-overhead MFU; the estimate's :attr:`ThroughputEstimate.mfu`
-        charges the overhead and is what sweep rows report.
+        When the simulation ran with injected allocator overhead (see
+        :attr:`allocator_overhead_seconds`) the iteration already charges it
+        -- in its scheduled position, not as a constant -- so this matches
+        what the estimate's :attr:`ThroughputEstimate.mfu` reports; an
+        overhead-free simulation yields the pure zero-overhead MFU.
         """
         if self.peak_tflops <= 0 or self.iteration_seconds <= 0:
             return 0.0
@@ -320,7 +356,14 @@ class TimelineResult:
         raise KeyError(f"no timeline for rank {rank!r}")
 
     def to_estimate(self, *, allocator_overhead_seconds: float = 0.0) -> ThroughputEstimate:
-        """Adapt the simulation into the shared throughput-estimate shape."""
+        """Adapt the simulation into the shared throughput-estimate shape.
+
+        ``allocator_overhead_seconds`` here is *additional* overhead to add
+        on top of the iteration -- a simulation that already had its overhead
+        injected into the phase durations (see
+        :attr:`allocator_overhead_seconds`) must be adapted with the default
+        0, otherwise the overhead would be charged twice.
+        """
         return ThroughputEstimate(
             iteration_seconds=self.iteration_seconds,
             model_flops_per_iteration=self.model_flops_per_iteration,
@@ -349,6 +392,7 @@ class TimelineResult:
             "gpu": self.gpu_name,
             "description": self.description,
             "num_gpus": self.num_gpus,
+            "gpus_per_node": self.gpus_per_node,
             "iteration_seconds": self.iteration_seconds,
         }
         yield json.dumps(header, sort_keys=True, separators=(",", ":"))
@@ -421,13 +465,20 @@ class TimelineSimulator:
         gpu: GPUSpec | str = "A800-80GB",
         seed: int = 0,
         scale: float = 1.0,
+        allocator_overhead_seconds: float = 0.0,
     ):
         if not 0.0 < scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {scale}")
+        if allocator_overhead_seconds < 0.0:
+            raise ValueError(
+                "allocator_overhead_seconds must be >= 0, "
+                f"got {allocator_overhead_seconds}"
+            )
         self.config = config
         self.gpu = get_gpu(gpu)
         self.seed = seed
         self.scale = scale
+        self.allocator_overhead_seconds = allocator_overhead_seconds
         parallelism = config.parallelism
         model = config.model
         self.pp = parallelism.pipeline_parallel
@@ -465,6 +516,42 @@ class TimelineSimulator:
         self.backward_unit_seconds = unit_flops * 2.0 / 3.0 * seconds_per_flop
         if config.recompute:
             self.backward_unit_seconds += unit_flops / 3.0 * seconds_per_flop
+
+        #: Allocator driver-call cost injected into every forward/backward
+        #: phase unit: the replay-measured per-iteration overhead split evenly
+        #: over the ``2 * m * chunks`` phase units one rank executes.  Summed
+        #: back over a bubble-free schedule this reproduces the old additive
+        #: ``iteration + overhead`` exactly (adding 0.0 is a bit-exact no-op,
+        #: so an overhead-free simulation stays byte-identical).
+        self.unit_overhead_seconds = allocator_overhead_seconds / (
+            2.0 * self.num_microbatches * self.chunks
+        )
+        self.dense_forward_seconds = self.forward_unit_seconds + self.unit_overhead_seconds
+        self.dense_backward_seconds = (
+            self.backward_unit_seconds + self.unit_overhead_seconds
+        )
+
+        # -------------------------------------------------------------- #
+        # Fabric: node topology and per-(stage, ep) fast-tier fractions
+        # -------------------------------------------------------------- #
+        self.topology = NodeTopology(
+            pipeline_parallel=self.pp,
+            expert_parallel=self.ep,
+            gpus_per_node=self.gpu.gpus_per_node,
+        )
+        #: Whether the hierarchical pricing path is active.  Single-node or
+        #: equal-tier specs use the flat formula -- bit-identical to the
+        #: single-tier simulator -- at the effective fast-tier rate (which
+        #: falls back to the stock ``a2a_gbytes_per_sec``).
+        self._tiered = self.gpu.is_tiered
+        self._flat_rate = self.gpu.intra_tier_gbytes_per_sec
+        if self._tiered:
+            self._intra_fracs = [
+                [self.topology.intra_fraction(stage, ep) for ep in range(self.ep)]
+                for stage in range(self.pp)
+            ]
+        else:
+            self._intra_fracs = None
 
         #: Fraction of one layer's compute that lives in the routed experts
         #: (scales with each EP rank's local load); 0 for dense models.
@@ -508,19 +595,45 @@ class TimelineSimulator:
         total = dense + expert
         return expert / total if total > 0 else 0.0
 
-    def _a2a_seconds(self, max_tokens: int) -> float:
-        """Duration of one all-to-all collective.
+    def _a2a_seconds(self, stage: int, loads: list[int]) -> float:
+        """Duration of one all-to-all collective of stage ``stage``.
 
         A synchronising collective completes when its slowest participant has
-        moved its data, so the duration is set by the **maximum** routed
-        bytes across the EP group -- the same ``moe_comm_factor``-scaled
-        activation bytes the trace stages as COMM_BUFFER transients.
+        moved its data.  On a flat (single-node or equal-tier) fabric that is
+        the **maximum** routed bytes across the EP group over the one rate --
+        the same ``moe_comm_factor``-scaled activation bytes the trace stages
+        as COMM_BUFFER transients.  On a tiered fabric each participant's
+        transfer prices its bytes at its *tier mix*: the fraction of EP peers
+        on its node moves at the intra-node rate, the remainder crosses at
+        the inter-node rate, and the collective takes as long as the slowest
+        participant's mix.
         """
         factor = self.config.moe_comm_factor
-        if factor <= 0 or max_tokens <= 0:
+        if factor <= 0 or not loads:
             return 0.0
-        bytes_moved = factor * max_tokens * self.config.model.hidden_size * ACT_BYTES
-        return bytes_moved / (self.gpu.a2a_gbytes_per_sec * 1e9)
+        hidden = self.config.model.hidden_size
+        if not self._tiered:
+            max_tokens = max(loads)
+            if max_tokens <= 0:
+                return 0.0
+            bytes_moved = factor * max_tokens * hidden * ACT_BYTES
+            return bytes_moved / (self._flat_rate * 1e9)
+        intra = self.gpu.intra_tier_gbytes_per_sec * 1e9
+        inter = self.gpu.inter_tier_gbytes_per_sec * 1e9
+        fracs = self._intra_fracs[stage]
+        duration = 0.0
+        for ep, tokens in enumerate(loads):
+            if tokens <= 0:
+                continue
+            bytes_moved = factor * tokens * hidden * ACT_BYTES
+            fraction = fracs[ep]
+            seconds = (
+                bytes_moved * fraction / intra
+                + bytes_moved * (1.0 - fraction) / inter
+            )
+            if seconds > duration:
+                duration = seconds
+        return duration
 
     def _global_layer(self, stage: int, chunk: int, layer: int) -> int:
         """Model-global layer id of one execution (same mapping as tracegen)."""
@@ -567,8 +680,15 @@ class TimelineSimulator:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run(self) -> TimelineResult:
-        if self._router is None:
+    def run(self, *, force_general: bool = False) -> TimelineResult:
+        """Simulate the iteration.
+
+        ``force_general`` routes a dense model through the general event loop
+        instead of the compiled fast path; the two are kept bit-identical
+        (totals and event streams) by a differential test, which is what lets
+        the fast path stay trustworthy as the general loop grows features.
+        """
+        if self._router is None and not force_general:
             return self._run_dense()
         return self._run_grouped()
 
@@ -653,7 +773,7 @@ class TimelineSimulator:
         # to the previous per-event ``total += duration`` accumulation.
         compute_totals = [0.0] * pp
         stall_totals = [0.0] * pp
-        durations = (0.0, self.forward_unit_seconds, self.backward_unit_seconds)
+        durations = (0.0, self.dense_forward_seconds, self.dense_backward_seconds)
         for stage, code, selector, dep_slot, end_slot, microbatch, chunk in plan:
             clock = clocks[stage]
             buffer = buffers[stage]
@@ -743,6 +863,8 @@ class TimelineSimulator:
             num_gpus=self.config.parallelism.num_gpus,
             tokens_per_iteration=self.config.tokens_per_iteration,
             peak_tflops=self.gpu.peak_tflops,
+            gpus_per_node=self.gpu.gpus_per_node,
+            allocator_overhead_seconds=self.allocator_overhead_seconds,
         )
 
     # ------------------------------------------------------------------ #
@@ -784,26 +906,45 @@ class TimelineSimulator:
                 )
             cursors[ep] = start
 
-        self._run_moe_layers(stage, spec, forward, cursors, events, totals)
+        if self._router is None:
+            # Dense model through the general loop (force_general): one
+            # event of the full unit duration per phase, accumulated in the
+            # same order as the compiled plan so the two paths stay
+            # bit-identical.
+            duration = (
+                self.dense_forward_seconds if forward else self.dense_backward_seconds
+            )
+            dense_kind = K_FORWARD if forward else K_BACKWARD
+            for ep in cursors:
+                self._emit(
+                    events, totals, (stage, ep), dense_kind,
+                    cursors[ep], duration, spec,
+                )
+                cursors[ep] += duration
+        else:
+            self._run_moe_layers(stage, spec, forward, cursors, events, totals)
 
         key = (stage, "F" if forward else "B", spec.microbatch, spec.chunk)
         ends[key] = dict(cursors)
         for ep, cursor in cursors.items():
             clocks[(stage, ep)] = cursor
 
-    def _layer_exec(self, global_layer: int, microbatch: int):
+    def _layer_exec(self, stage: int, global_layer: int, microbatch: int):
         """Memoised ``(loads, balanced, a2a_duration)`` of one layer execution.
 
         The forward dispatch and backward combine of the same (layer,
         micro-batch) execution reuse one gating decision, so the routed
         loads -- and everything derived from them -- are computed once.
+        ``stage`` selects the tier mix of the collective on a hierarchical
+        fabric; the memo key stays ``(global_layer, microbatch)`` because the
+        global layer id already encodes the stage uniquely.
         """
         key = (global_layer, microbatch)
         cached = self._layer_exec_cache.get(key)
         if cached is None:
             loads = self._routed_loads(global_layer, microbatch)
             balanced = sum(loads) / self.ep if self.ep else 0.0
-            a2a_duration = self._a2a_seconds(max(loads) if loads else 0)
+            a2a_duration = self._a2a_seconds(stage, loads)
             cached = (loads, balanced, a2a_duration)
             self._layer_exec_cache[key] = cached
         return cached
@@ -812,7 +953,11 @@ class TimelineSimulator:
         unit = self.forward_unit_seconds if forward else self.backward_unit_seconds
         per_layer = unit / self.layers
         expert_base = per_layer * self.expert_share
-        dense_part = per_layer - expert_base
+        # The phase's allocator-overhead share rides on the dense part (the
+        # framework's Python/driver work brackets the dense kernels), never
+        # on the load-scaled expert compute.
+        dense_part = per_layer - expert_base + self.unit_overhead_seconds / self.layers
+        overlap = self.config.comm_overlap_factor
         dense_kind = K_FORWARD if forward else K_BACKWARD
         expert_kind = K_EXPERT_FORWARD if forward else K_EXPERT_BACKWARD
         a2a_kind = K_A2A_DISPATCH if forward else K_A2A_COMBINE
@@ -821,7 +966,7 @@ class TimelineSimulator:
         for layer in layer_order:
             global_layer = self._global_layer(stage, spec.chunk, layer)
             loads, balanced, a2a_duration = self._layer_exec(
-                global_layer, spec.microbatch
+                stage, global_layer, spec.microbatch
             )
 
             if forward:
@@ -852,16 +997,28 @@ class TimelineSimulator:
                     )
                 cursors[ep] = begin + a2a_duration
             # Expert FFN (or its gradients): scales with the local load.
+            # ``comm_overlap_factor`` hides up to that fraction of the
+            # collective under the expert compute consuming its tokens: the
+            # expert starts early by ``min(factor * a2a, expert)`` seconds.
+            # The a2a event above keeps its full duration -- comm_seconds
+            # and the stall accounting stay honest -- only the cursor (the
+            # critical path) shortens.
             for ep in cursors:
                 expert_duration = (
                     expert_base * (loads[ep] / balanced) if balanced > 0 else 0.0
                 )
                 if expert_duration > 0:
+                    hidden = (
+                        min(overlap * a2a_duration, expert_duration)
+                        if overlap > 0.0 and a2a_duration > 0.0
+                        else 0.0
+                    )
+                    start = cursors[ep] - hidden
                     self._emit(
                         events, totals, (stage, ep), expert_kind,
-                        cursors[ep], expert_duration, spec, global_layer,
+                        start, expert_duration, spec, global_layer,
                     )
-                    cursors[ep] += expert_duration
+                    cursors[ep] = start + expert_duration
             if not forward:
                 # Dense gradient work follows the combine + expert gradients.
                 for ep in cursors:
@@ -888,26 +1045,39 @@ def simulate_timeline(
     gpu: GPUSpec | str = "A800-80GB",
     seed: int = 0,
     scale: float = 1.0,
+    allocator_overhead_seconds: float = 0.0,
 ) -> TimelineResult:
     """Simulate one iteration of ``config`` on ``gpu`` (memoised).
 
     Returns the full :class:`TimelineResult`; callers needing the shared
     estimate shape use :meth:`TimelineResult.to_estimate`.  Results are
     treated as immutable -- the memo hands the same object to every caller.
+    ``allocator_overhead_seconds`` injects the replay-measured allocator
+    overhead into the phase durations (see the class docs); it is part of
+    the memo key, so allocators with different overheads never alias.
     """
     spec = get_gpu(gpu)
     # The whole (frozen, hashable) spec is part of the key, not just its
     # name: a caller passing a customised GPUSpec under a stock name must
     # never be served a result computed for different hardware constants.
+    # The spec carries the fabric tier fields and node size, so a fabric
+    # customisation rotates the key automatically.
     key = (
         config_fingerprint(config, seed=seed, scale=scale),
         spec,
+        float(allocator_overhead_seconds),
         TIMELINE_VERSION,
     )
     cached = _MEMO.get(key)
     if cached is not None:
         return cached
-    result = TimelineSimulator(config, gpu=spec, seed=seed, scale=scale).run()
+    result = TimelineSimulator(
+        config,
+        gpu=spec,
+        seed=seed,
+        scale=scale,
+        allocator_overhead_seconds=allocator_overhead_seconds,
+    ).run()
     _MEMO[key] = result
     while len(_MEMO) > _MEMO_MAX:
         _MEMO.pop(next(iter(_MEMO)))

@@ -44,6 +44,13 @@ class TrainingConfig:
     #: unfused all-to-all staging buffers holding one full copy of the routed
     #: activations per direction.  Ignored for dense models.
     moe_comm_factor: float = 0.0
+    #: Fraction of each all-to-all collective hidden under the expert compute
+    #: that follows it, in [0, 1].  Priced inside the timeline simulator (the
+    #: expert FFN starts early by ``min(factor * a2a, expert)`` seconds), not
+    #: subtracted after the fact, so ``comm_seconds`` and stall events stay
+    #: honest; 0 (the default) serialises communication and compute exactly
+    #: like the pre-overlap simulator.  Ignored for dense models.
+    comm_overlap_factor: float = 0.0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -60,6 +67,10 @@ class TrainingConfig:
         if self.moe_comm_factor < 0.0:
             raise ValueError(
                 f"moe_comm_factor must be >= 0, got {self.moe_comm_factor}"
+            )
+        if not 0.0 <= self.comm_overlap_factor <= 1.0:
+            raise ValueError(
+                f"comm_overlap_factor must be in [0, 1], got {self.comm_overlap_factor}"
             )
 
     @property
@@ -111,6 +122,8 @@ class TrainingConfig:
             bits.append(f"zero{self.zero_stage}")
         if self.model.is_moe and self.moe_comm_factor:
             bits.append(f"comm={self.moe_comm_factor:g}")
+        if self.model.is_moe and self.comm_overlap_factor:
+            bits.append(f"ovl={self.comm_overlap_factor:g}")
         if self.label:
             bits.append(f"[{self.label}]")
         return " ".join(bits)
