@@ -15,6 +15,11 @@ It measures four hot layers at three scales and reports events/sec:
                       rep (steady state: the compiled-plan cache stays warm,
                       exactly like a sweep evaluating many points of one
                       geometry).
+* ``gen_trace_build`` / ``gen_replay_native`` / ``gen_timeline`` -- the same
+                      build, replay, and timeline layers on a *generation*
+                      variant of the preset (prefill + 64 decode steps with
+                      per-step KV-cache re-allocation), the dynamic-size
+                      stream that stresses the decode hot paths.
 
 Usage::
 
@@ -170,12 +175,34 @@ def bench_preset(preset: str) -> dict:
         clear_timeline_memo()
         simulate_timeline(tiered_config, gpu=tiered_gpu, seed=0, scale=scale)
 
+    # Generation twin of the preset: prefill plus 64 decode steps, so the
+    # per-step KV re-allocation and decode-event paths dominate the stream.
+    gen_config = config.with_(workload_kind="generation", decode_steps=64)
+    gen_trace = TraceGenerator(gen_config, scale=scale).generate()
+    gen_events = len(gen_trace.events)
+
+    def run_gen_build():
+        TraceGenerator(gen_config, scale=scale).generate()
+
+    def run_gen_replay():
+        device = Device(name="bench", capacity=512 * GIB)
+        allocator = create_allocator("native", device)
+        result = replay_trace(gen_trace, allocator)
+        if not result.success:
+            raise RuntimeError("replay OOM in benchmark (gen/native)")
+
+    def run_gen_timeline():
+        clear_timeline_memo()
+        simulate_timeline(gen_config, seed=0, scale=scale)
+
     clear_timeline_memo()
     timeline_events = simulate_timeline(config, seed=0, scale=scale).num_events
     clear_timeline_memo()
     tiered_events = simulate_timeline(
         tiered_config, gpu=tiered_gpu, seed=0, scale=scale
     ).num_events
+    clear_timeline_memo()
+    gen_timeline_events = simulate_timeline(gen_config, seed=0, scale=scale).num_events
 
     results = {
         "trace_build": _measure(run_build, num_events),
@@ -184,6 +211,9 @@ def bench_preset(preset: str) -> dict:
         "replay_caching": _measure(make_replay("torch2.3"), num_events),
         "timeline": _measure(run_timeline, timeline_events),
         "timeline_tiered": _measure(run_timeline_tiered, tiered_events),
+        "gen_trace_build": _measure(run_gen_build, gen_events),
+        "gen_replay_native": _measure(run_gen_replay, gen_events),
+        "gen_timeline": _measure(run_gen_timeline, gen_timeline_events),
     }
     return results
 

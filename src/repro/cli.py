@@ -22,6 +22,8 @@ Usage::
     stalloc-repro timeline gpt-tiny --pp 2 --microbatches 8
     stalloc-repro timeline moe-tiny --pp 2 --ep 4 --comm-factor 1.0 \
         --trace-out timeline.json                           # open in ui.perfetto.dev
+    stalloc-repro timeline gpt-tiny --workload generation --decode-steps 16
+    stalloc-repro sweep gen-smoke --jobs 2                  # prefill/decode KV-cache growth
     stalloc-repro cache prune --max-gib 2
 """
 
@@ -319,6 +321,32 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "fraction of each all-to-all hidden under expert compute, in "
             "[0, 1] (default: 0, fully serialised)"
+        ),
+    )
+    timeline_parser.add_argument(
+        "--workload",
+        default="training",
+        choices=["training", "inference", "generation"],
+        help="workload kind to simulate (default: %(default)s)",
+    )
+    timeline_parser.add_argument(
+        "--decode-steps",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "autoregressive decode passes per micro-batch "
+            "(generation workloads only; default: 0)"
+        ),
+    )
+    timeline_parser.add_argument(
+        "--max-new-tokens",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "cap on generated tokens per sequence -- the KV cache stops "
+            "growing at the cap (generation workloads only; default: 0, no cap)"
         ),
     )
     timeline_parser.add_argument(
@@ -630,6 +658,9 @@ def _cmd_timeline(args) -> int:
             num_microbatches=args.microbatches,
             moe_comm_factor=args.comm_factor,
             comm_overlap_factor=args.overlap,
+            workload_kind=args.workload,
+            decode_steps=args.decode_steps,
+            max_new_tokens=args.max_new_tokens,
         )
         gpu = get_gpu(args.gpu)
         fabric = {
@@ -653,6 +684,8 @@ def _cmd_timeline(args) -> int:
     print(f"  compute_seconds    {result.compute_seconds:.6f}")
     print(f"  comm_seconds       {summary['comm_seconds']:.6f}")
     print(f"  stall_seconds      {summary['stall_seconds']:.6f}")
+    if summary["decode_seconds"]:
+        print(f"  decode_seconds     {summary['decode_seconds']:.6f}")
     print(f"  bubble_fraction    {summary['bubble_fraction']:.4f}")
     print(f"  mfu                {summary['mfu']:.4f}")
     print(f"  events             {summary['num_events']}")

@@ -49,6 +49,7 @@ KINDS = (EventKind.ALLOC, EventKind.FREE)
 CATEGORIES: tuple[TensorCategory, ...] = tuple(TensorCategory)
 CATEGORY_CODES = {category: code for code, category in enumerate(CATEGORIES)}
 COMM_BUFFER_CODE = CATEGORY_CODES[TensorCategory.COMM_BUFFER]
+KV_CACHE_CODE = CATEGORY_CODES[TensorCategory.KV_CACHE]
 
 
 class ColumnBuilder:
@@ -290,6 +291,13 @@ class TraceColumns:
             return 0
         comm = self.signed_sizes()[mask]
         return max(0, int(np.cumsum(comm).max()))
+
+    def kv_peak_bytes(self) -> int:
+        mask = self.category == KV_CACHE_CODE
+        if not mask.any():
+            return 0
+        kv = self.signed_sizes()[mask]
+        return max(0, int(np.cumsum(kv).max()))
 
     def total_allocated_bytes(self) -> int:
         return int(self.size[self.kind == ALLOC].sum())

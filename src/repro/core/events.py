@@ -30,6 +30,7 @@ class PhaseKind(enum.Enum):
     BACKWARD = "backward"    # backward pass of one micro-batch (per VPP chunk)
     OPTIMIZER = "optimizer"  # optimizer step / gradient all-reduce
     OTHER = "other"          # anything outside the above (e.g. dataloader)
+    DECODE = "decode"        # one autoregressive decode step over cached context
 
 
 @dataclass(frozen=True, order=True)
@@ -54,8 +55,9 @@ class Phase:
             PhaseKind.BACKWARD: "B",
             PhaseKind.OPTIMIZER: "OPT",
             PhaseKind.OTHER: "OTHER",
+            PhaseKind.DECODE: "DEC",
         }[self.kind]
-        if self.kind in (PhaseKind.FORWARD, PhaseKind.BACKWARD):
+        if self.kind in (PhaseKind.FORWARD, PhaseKind.BACKWARD, PhaseKind.DECODE):
             return f"{short}(mb={self.microbatch}, chunk={self.chunk})"
         return short
 
@@ -94,6 +96,9 @@ class TensorCategory(enum.Enum):
     COMM_BUFFER = "comm_buffer"
     EXPERT_ACTIVATION = "expert_activation"
     OTHER = "other"
+    # Appended last: category codes are the declaration order (columns.py),
+    # so new members must never reorder the existing ones.
+    KV_CACHE = "kv_cache"
 
 
 class EventKind(enum.Enum):

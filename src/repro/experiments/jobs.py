@@ -20,6 +20,7 @@ from repro.experiments.common import (
     register_experiment,
 )
 from repro.gpu.specs import GPU_SPECS
+from repro.search.bounds import kv_cache_bytes_floor
 from repro.simulator.runner import run_job
 from repro.simulator.throughput import ThroughputModel
 from repro.timeline import simulate_timeline
@@ -187,6 +188,72 @@ def run_comm_table(*, quick: bool = False) -> ExperimentResult:
             "comm_delta_gib is the peak growth over the comm-free trace of the same "
             "imbalance: the provisioning headroom the all-to-all staging buffers "
             "demand, which widens as routing skews toward hot experts."
+        ),
+    )
+
+
+@register_experiment("gen_table")
+def run_gen_table(*, quick: bool = False) -> ExperimentResult:
+    """Generation workloads: KV-cache growth vs. decode steps, memory and time.
+
+    A generation job is the paper's dynamic-allocation stress case turned up:
+    every decode step re-allocates each layer's KV cache one token larger, so
+    allocation sizes follow *sequence position* instead of a fixed per-phase
+    inventory.  This table sweeps ``decode_steps`` for the GPT-2 job and
+    reports, per step count, where the bytes go (job peak, live-KV peak, and
+    the search planner's admissible KV floor) and where the time goes (the
+    timeline's autoregressive decode tail next to the prefill-dominated
+    iteration) -- the provisioning picture a static planner must get right.
+    """
+    workload = A800_WORKLOADS["gpt2-345m"]
+    gpu = GPU_SPECS[workload.device_name]
+    scale = 0.25 if quick else 0.5
+    step_counts = [0, 8] if quick else [0, 8, 32]
+    allocator = "torch2.3"
+    rows = []
+    baseline_peak: float | None = None
+    for steps in step_counts:
+        config = workload.preset("Naive", micro_batch_size=4 if quick else None).with_(
+            workload_kind="generation", decode_steps=steps
+        )
+        job = run_job(
+            config,
+            allocator,
+            ranks="all",
+            device_name=workload.device_name,
+            scale=scale,
+        )
+        timeline = simulate_timeline(config, gpu=gpu, scale=scale)
+        if baseline_peak is None:
+            baseline_peak = job.peak_allocated_gib
+        rows.append(
+            {
+                "decode_steps": steps,
+                "binding_rank": rank_label(job.binding_rank),
+                "job_peak_gib": round(job.peak_allocated_gib, 3),
+                "kv_peak_gib": round(job.kv_peak_bytes / (1 << 30), 3),
+                "kv_floor_gib": round(
+                    kv_cache_bytes_floor(config, scale=scale) / (1 << 30), 3
+                ),
+                "kv_delta_gib": round(job.peak_allocated_gib - baseline_peak, 3),
+                "iteration_ms": round(timeline.iteration_seconds * 1e3, 3),
+                "decode_ms": round(timeline.decode_seconds * 1e3, 3),
+                "decode_pct": round(
+                    100 * timeline.decode_seconds / timeline.iteration_seconds, 2
+                ),
+                "status": "ok" if job.success else f"OOM@ranks{job.oom_ranks}",
+            }
+        )
+    return ExperimentResult(
+        experiment_id="gen_table",
+        title="Generation workloads: KV-cache growth and decode time vs. decode steps",
+        rows=rows,
+        notes=(
+            "kv_peak_gib is the binding rank's live KV-cache high-water mark and "
+            "kv_floor_gib the planner's admissible lower bound on it (floor <= peak "
+            "always); kv_delta_gib is the job-peak growth over the prefill-only run. "
+            "decode_ms is the autoregressive tail the timeline prices from per-step "
+            "KV reads at HBM bandwidth."
         ),
     )
 

@@ -44,11 +44,20 @@ class GPUSpec:
     #: Ranks per node for the hierarchical fabric; ``0`` means "one node"
     #: (every rank co-located -- the degenerate single-tier topology).
     gpus_per_node: int = 0
+    #: HBM read bandwidth (GB/s).  Decode steps of generation workloads are
+    #: KV-read bound -- each step streams the whole cached context through the
+    #: attention kernels -- so the timeline prices a decode step's memory term
+    #: as ``kv_bytes(context) / hbm_gbytes_per_sec``.
+    hbm_gbytes_per_sec: float = 2000.0
 
     def __post_init__(self) -> None:
         if self.a2a_gbytes_per_sec <= 0:
             raise ValueError(
                 f"a2a_gbytes_per_sec must be positive, got {self.a2a_gbytes_per_sec}"
+            )
+        if self.hbm_gbytes_per_sec <= 0:
+            raise ValueError(
+                f"hbm_gbytes_per_sec must be positive, got {self.hbm_gbytes_per_sec}"
             )
         for field_name in ("intra_node_gbytes_per_sec", "inter_node_gbytes_per_sec"):
             value = getattr(self, field_name)
@@ -165,15 +174,15 @@ class NodeTopology:
 GPU_SPECS: dict[str, GPUSpec] = {
     "A800-80GB": GPUSpec(
         "A800-80GB", peak_tflops=312.0, achievable_mfu=0.52, memory_gib=80,
-        a2a_gbytes_per_sec=50.0,
+        a2a_gbytes_per_sec=50.0, hbm_gbytes_per_sec=2039.0,
     ),
     "H200-141GB": GPUSpec(
         "H200-141GB", peak_tflops=989.0, achievable_mfu=0.47, memory_gib=141,
-        a2a_gbytes_per_sec=112.0,
+        a2a_gbytes_per_sec=112.0, hbm_gbytes_per_sec=4800.0,
     ),
     "MI210-64GB": GPUSpec(
         "MI210-64GB", peak_tflops=181.0, achievable_mfu=0.45, memory_gib=64,
-        a2a_gbytes_per_sec=40.0,
+        a2a_gbytes_per_sec=40.0, hbm_gbytes_per_sec=1638.0,
     ),
 }
 

@@ -64,16 +64,22 @@ def persistent_bytes_floor(
     """Exact persistent (INIT-phase) bytes a rank allocates.
 
     Replicates ``TraceGenerator._emit_init``: layer-tagged specs beyond the
-    scaled layer count are dropped, and ZeRO-3 shards WEIGHT specs across the
-    data-parallel group.  Persistent tensors are never jittered, so this term
-    is exact, not merely a lower bound.
+    scaled layer count are dropped, ZeRO-3 shards WEIGHT specs across the
+    data-parallel group, and forward-only workloads (inference/generation)
+    skip gradient and optimizer-state tensors entirely.  Persistent tensors
+    are never jittered, so this term is exact, not merely a lower bound.
     """
     memory = MemoryModel(config, rank=rank, ep_rank=ep_rank)
     parallelism = config.parallelism
     scale_layers = _scaled_chunk_layers(config, scale) * parallelism.virtual_pipeline_chunks
     full_layers = parallelism.layers_per_rank(config.model.num_layers)
+    forward_only = not config.is_training
     total = 0
     for spec in memory.persistent_tensors():
+        if forward_only and spec.category in (
+            TensorCategory.GRADIENT, TensorCategory.OPTIMIZER_STATE
+        ):
+            continue
         if spec.tag.startswith("layer"):
             layer_index = int(spec.tag.split(".")[0][len("layer"):])
             if layer_index >= scale_layers and full_layers > scale_layers:
@@ -108,6 +114,31 @@ def scoped_layer_bytes_floor(
     return sum(_jitter_floor(spec) for spec in specs)
 
 
+def kv_cache_bytes_floor(config: TrainingConfig, *, scale: float = 1.0) -> int:
+    """Minimum concurrently-live KV-cache bytes of a generation workload.
+
+    Decode runs step-major, so at the end of the next-to-last decode step
+    every (micro-batch, chunk) unit still holds all its per-layer caches at
+    the step's context length; during the final step the first unit grows to
+    the full context before anything is freed.  The floor prices exactly that
+    guaranteed-live set -- all units at ``context_tokens_at(decode_steps - 1)``
+    plus one unit's growth to the full context -- and KV sizes are never
+    jittered, so ``floor <= kv_peak <= peak_allocated`` for every trace.
+    Zero for non-generation workloads and for prefill-only generation
+    (``decode_steps == 0``, which allocates no caches at all).
+    """
+    if config.workload_kind != "generation" or config.decode_steps == 0:
+        return 0
+    memory = MemoryModel(config)
+    layers = _scaled_chunk_layers(config, scale)
+    units = config.num_microbatches * config.parallelism.virtual_pipeline_chunks
+    last = memory.kv_cache_tensor(0, config.context_tokens_at(config.decode_steps)).size
+    prior = memory.kv_cache_tensor(
+        0, config.context_tokens_at(config.decode_steps - 1)
+    ).size
+    return (units - 1) * layers * prior + layers * last
+
+
 def memory_lower_bound(
     config: TrainingConfig, *, rank: int = 0, ep_rank: int = 0, scale: float = 1.0
 ) -> int:
@@ -119,8 +150,16 @@ def memory_lower_bound(
     holds its saved activations for every layer of the chunk.  Everything
     else a real trace allocates on top (boundary buffers, logits, experts,
     comm, transients) only raises the true peak.
+
+    Forward-only workloads retain nothing across phases -- the generator
+    frees every scoped and boundary activation at the end of each forward --
+    so the in-flight activation term is dropped; generation workloads add
+    the KV-cache floor instead (see :func:`kv_cache_bytes_floor`), the
+    dynamic allocation a static planner must still provision for.
     """
     persistent = persistent_bytes_floor(config, rank=rank, ep_rank=ep_rank, scale=scale)
+    if not config.is_training:
+        return persistent + kv_cache_bytes_floor(config, scale=scale)
     in_flight = config.parallelism.in_flight_microbatches(rank, config.num_microbatches)
     per_layer = scoped_layer_bytes_floor(config, rank=rank, ep_rank=ep_rank)
     return persistent + in_flight * _scaled_chunk_layers(config, scale) * per_layer
@@ -180,7 +219,11 @@ def time_floor_seconds(
     """
     gpu = get_gpu(gpu)
     model = ThroughputModel(gpu)
-    per_gpu_flops = model.model_flops_per_iteration(config) / config.parallelism.num_gpus
+    per_gpu_flops = (
+        model.model_flops_per_iteration(config)
+        * model.workload_flops_fraction(config)
+        / config.parallelism.num_gpus
+    )
     floor = (
         per_gpu_flops
         * model.compute_multiplier(config)

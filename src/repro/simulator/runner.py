@@ -116,6 +116,10 @@ class WorkloadRun:
     #: all-to-all dispatch/combine transients plus P2P/ZeRO buffers);
     #: trace-determined, identical for every allocator.
     comm_peak_bytes: int = 0
+    #: Peak concurrently-live KV_CACHE bytes of the replayed trace (the
+    #: per-layer key/value caches of a generation workload; 0 for training
+    #: and inference); trace-determined, identical for every allocator.
+    kv_peak_bytes: int = 0
 
     @property
     def memory_efficiency(self) -> float:
@@ -164,6 +168,7 @@ class WorkloadRun:
             "rank": self.rank,
             "ep_rank": self.ep_rank,
             "comm_peak_bytes": self.comm_peak_bytes,
+            "kv_peak_bytes": self.kv_peak_bytes,
         }
         data.update(self.replay.as_dict())
         if self.throughput is not None:
@@ -436,6 +441,7 @@ def run_workload(
             ep_rank=ep_rank,
             planning_report={},
             comm_peak_bytes=trace.comm_peak_bytes(),
+            kv_peak_bytes=trace.kv_peak_bytes(),
         )
     replay = replay_trace(trace, allocator)
     throughput = None
@@ -458,6 +464,7 @@ def run_workload(
         throughput=throughput,
         planning_report=planning_report,
         comm_peak_bytes=trace.comm_peak_bytes(),
+        kv_peak_bytes=trace.kv_peak_bytes(),
     )
 
 
@@ -850,6 +857,17 @@ class JobRun:
         return max(run.comm_peak_bytes for run in self.class_runs)
 
     @property
+    def kv_peak_bytes(self) -> int:
+        """Job KV-cache peak: max per-rank live KV_CACHE bytes.
+
+        For a generation workload every micro-batch's per-layer caches are
+        still live when the last decode sweep runs, so this is the dynamic
+        allocation floor static planning must reserve; 0 for training and
+        inference jobs.
+        """
+        return max(run.kv_peak_bytes for run in self.class_runs)
+
+    @property
     def oom_ranks(self) -> list:
         """Every requested rank whose replay ran out of memory."""
         return sorted(
@@ -906,6 +924,7 @@ class JobRun:
             "mean_peak_allocated_gib": self.mean_peak_allocated_gib,
             "peak_reserved_gib": self.peak_reserved_gib,
             "comm_peak_bytes": self.comm_peak_bytes,
+            "kv_peak_bytes": self.kv_peak_bytes,
             "per_rank_peak_allocated_gib": {
                 rank_label(rank): run.replay.metrics.peak_allocated_gib
                 for rank, run in self.runs_by_rank().items()

@@ -49,6 +49,10 @@ class ThroughputEstimate:
     #: closed-form pipeline-bubble fraction for the analytical backend, the
     #: emergent (bubbles + straggler stalls) fraction for the timeline.
     bubble_fraction: float = 0.0
+    #: Seconds the binding rank spends in autoregressive decode steps (0 for
+    #: training/inference workloads and for the analytical backend, which
+    #: folds decode into the closed-form iteration time).
+    decode_seconds: float = 0.0
     #: Dense peak TFLOPS of the device the estimate was made for (0 when
     #: unknown; enables the :attr:`mfu` property).
     peak_tflops: float = 0.0
@@ -104,6 +108,7 @@ class ThroughputEstimate:
             "tokens_per_second": self.tokens_per_second,
             "iteration_seconds": self.iteration_seconds,
             "comm_seconds": self.comm_seconds,
+            "decode_seconds": self.decode_seconds,
             "bubble_fraction": self.bubble_fraction,
             "mfu": self.mfu,
             "timing": self.source,
@@ -147,6 +152,16 @@ class ThroughputModel:
         )
         return dense + attention
 
+    def workload_flops_fraction(self, config: TrainingConfig) -> float:
+        """Fraction of the train-step FLOPs this workload actually executes.
+
+        :meth:`model_flops_per_iteration` counts a full forward+backward pass
+        (the standard ``6 * params * tokens``); forward-only inference and
+        generation workloads run just the forward third of it.  Training is
+        exactly 1.0, so existing estimates are bit-identical.
+        """
+        return 1.0 if config.is_training else 1.0 / 3.0
+
     # ------------------------------------------------------------------ #
     # Step-time model
     # ------------------------------------------------------------------ #
@@ -187,7 +202,7 @@ class ThroughputModel:
     ) -> ThroughputEstimate:
         """Estimate one iteration's duration and throughput."""
         num_gpus = num_gpus or config.parallelism.num_gpus
-        model_flops = self.model_flops_per_iteration(config)
+        model_flops = self.model_flops_per_iteration(config) * self.workload_flops_fraction(config)
         per_gpu_flops = model_flops / num_gpus
         compute_seconds = (
             per_gpu_flops * self.compute_multiplier(config) / self.gpu.achievable_flops

@@ -45,7 +45,9 @@ from repro.workloads.training import TrainingConfig
 #: Version 5: discrete-event timeline timing -- the ``timing`` identity
 #: column, the ``iteration_seconds``/``comm_seconds``/``bubble_fraction``/
 #: ``mfu`` columns, and ``timing`` in the point payload.
-RESULT_FORMAT_VERSION = 5
+#: Version 6: generation workloads -- the ``workload_kind`` identity column
+#: and the ``decode_steps``/``kv_peak_bytes``/``decode_seconds`` columns.
+RESULT_FORMAT_VERSION = 6
 
 #: Key under which :meth:`SweepCache.store_result` embeds the writer's result
 #: format version inside each stored row (stripped again on load); lets

@@ -29,6 +29,7 @@ from repro.sweep.results import SweepResult, _fmt
 #: run's numbers -- the backends model different things.
 IDENTITY_COLUMNS = (
     "model", "config", "allocator", "seed", "scale", "device", "ranks", "timing",
+    "workload_kind",
 )
 
 #: Metric columns worth diffing, with the direction in which a change is a
@@ -39,12 +40,15 @@ METRIC_DIRECTIONS: dict[str, int] = {
     "allocated_mean_gib": 0,
     "reserved_gib": +1,
     "comm_peak_bytes": +1,
+    "kv_peak_bytes": +1,
     "fragmentation_pct": 0,
     "memory_efficiency_pct": 0,
     "tflops_per_gpu": -1,
     "tokens_per_second": -1,
     "iteration_seconds": +1,
     "comm_seconds": +1,
+    "decode_seconds": +1,
+    "decode_steps": 0,
     "bubble_fraction": +1,
     "mfu": -1,
     "binding_rank": 0,

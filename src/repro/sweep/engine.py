@@ -77,6 +77,8 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
         "scale": point.scale,
         "device": point.device_name,
         "timing": point.timing,
+        "workload_kind": point.config.workload_kind,
+        "decode_steps": point.config.decode_steps,
         "ranks": _ranks_label(point.ranks),
         "num_ranks": job.num_ranks,
         "unique_ranks": len(job.class_runs),
@@ -90,6 +92,7 @@ def _point_row(point: SweepPoint, job, elapsed: float) -> dict:
         "allocated_mean_gib": job.mean_peak_allocated_gib,
         "reserved_gib": job.peak_reserved_gib,
         "comm_peak_bytes": job.comm_peak_bytes,
+        "kv_peak_bytes": job.kv_peak_bytes,
         "events_replayed": sum(run.replay.events_replayed for run in job.class_runs),
         "elapsed_seconds": round(elapsed, 4),
         "cached": False,

@@ -583,6 +583,9 @@ def _grid_label(preset: str | None, assignment: dict) -> str:
         "moe_imbalance": "imb",
         "moe_comm_factor": "comm",
         "comm_overlap_factor": "ovl",
+        "workload_kind": "kind",
+        "decode_steps": "dec",
+        "max_new_tokens": "tok",
     }
     for axis in assignment:
         name = short.get(axis, axis)
@@ -722,6 +725,28 @@ SWEEP_PRESETS: dict[str, dict] = {
         },
         "allocators": ["torch2.3"],
         "ranks": "all",
+        "timing": "timeline",
+    },
+    # Generation smoke: a forward-only prefill/decode job swept over the
+    # decode-step count.  Each decode step re-allocates every micro-batch's
+    # per-layer KV cache one token larger, so kv_peak_bytes and the decode
+    # share of iteration_seconds must grow strictly with decode_steps while
+    # the dec=0 rows stay byte-identical to a pure-inference trace.  This is
+    # the sweep that stresses static planning on dynamic allocation; runs in
+    # the CI compare gate next to the training smokes.
+    "gen-smoke": {
+        "name": "gen-smoke",
+        "model": "gpt2-345m",
+        "parallelism": {"pipeline_parallel": 2, "data_parallel": 2},
+        "base": {
+            "num_microbatches": 2,
+            "micro_batch_size": 2,
+            "workload_kind": "generation",
+        },
+        "grid": {"decode_steps": [0, 8, 16]},
+        "allocators": ["torch2.3", "stalloc"],
+        "ranks": "all",
+        "scale": 0.25,
         "timing": "timeline",
     },
     # STAlloc ablations (the §9.4 knobs) on a dense and a recompute config.

@@ -83,7 +83,12 @@ from repro.workloads.training import TrainingConfig
 #: allocator-overhead injection, and ``gpus_per_node`` in the serialized
 #: header.  Degenerate configurations (single-node/equal-tier, zero overlap,
 #: zero overhead) reproduce version-1 event durations bit-exactly.
-TIMELINE_VERSION = 2
+#: Version 3: inference and generation workloads -- forward-only pipelines
+#: plus autoregressive ``decode`` events whose duration combines a per-token
+#: compute share with a KV-read memory term priced at the device's HBM
+#: bandwidth.  Training event streams keep their version-2 durations exactly
+#: (only the serialized header's version field rotates the digests).
+TIMELINE_VERSION = 3
 
 #: Event kinds in code order (the ``kind`` column of the record buffers).
 KIND_NAMES = (
@@ -96,6 +101,7 @@ KIND_NAMES = (
     "a2a_dispatch",
     "a2a_combine",
     "stall",
+    "decode",
 )
 K_INIT = 0
 K_OPTIMIZER = 1
@@ -106,11 +112,15 @@ K_EXPERT_BACKWARD = 5
 K_A2A_DISPATCH = 6
 K_A2A_COMBINE = 7
 K_STALL = 8
-_COMPUTE_CODES = frozenset((K_FORWARD, K_BACKWARD, K_EXPERT_FORWARD, K_EXPERT_BACKWARD))
+K_DECODE = 9
+_COMPUTE_CODES = frozenset(
+    (K_FORWARD, K_BACKWARD, K_EXPERT_FORWARD, K_EXPERT_BACKWARD, K_DECODE)
+)
 _COMM_CODES = frozenset((K_A2A_DISPATCH, K_A2A_COMBINE))
 
-#: Compiled dense execution plans, keyed by ``(pp, chunks, num_microbatches)``
-#: -- the only inputs the schedule's dataflow order depends on.
+#: Compiled dense execution plans, keyed by ``(pp, chunks, num_microbatches,
+#: workload_kind, decode_steps)`` -- the only inputs the schedule's dataflow
+#: order depends on.
 _PLAN_CACHE: dict[tuple, tuple[list[tuple], int]] = {}
 _PLAN_CACHE_MAX = 64
 
@@ -314,6 +324,24 @@ class TimelineResult:
         return max(rank.stall_seconds for rank in self.ranks)
 
     @property
+    def decode_seconds(self) -> float:
+        """Autoregressive decode time of the most decode-bound rank.
+
+        Summed from the ``decode`` events (a subset of each rank's compute
+        time); 0.0 for training and inference simulations, whose event
+        streams contain no decode steps.
+        """
+        best = 0.0
+        for rank in self.ranks:
+            total = 0.0
+            for kind, _, duration, _, _, _ in rank.iter_records():
+                if kind == "decode":
+                    total += duration
+            if total > best:
+                best = total
+        return best
+
+    @property
     def bubble_fraction(self) -> float:
         """Fraction of the iteration the busiest rank is *not* computing.
 
@@ -372,6 +400,7 @@ class TimelineResult:
             tokens_per_iteration=self.tokens_per_iteration,
             comm_seconds=self.comm_seconds,
             bubble_fraction=self.bubble_fraction,
+            decode_seconds=self.decode_seconds,
             peak_tflops=self.peak_tflops,
             source="timeline",
         )
@@ -428,6 +457,7 @@ class TimelineResult:
             "iteration_seconds": self.iteration_seconds,
             "comm_seconds": self.comm_seconds,
             "stall_seconds": self.stall_seconds,
+            "decode_seconds": self.decode_seconds,
             "bubble_fraction": self.bubble_fraction,
             "mfu": self.mfu,
             "num_events": self.num_events,
@@ -502,7 +532,12 @@ class TimelineSimulator:
         # Durations, calibrated against the analytical FLOPs accounting
         # -------------------------------------------------------------- #
         analytical = ThroughputModel(self.gpu)
-        self.model_flops = analytical.model_flops_per_iteration(config)
+        #: Workload-executed model FLOPs: the full train-step accounting for
+        #: training (fraction 1.0 -- multiplying is a bit-exact no-op), its
+        #: forward third for inference/generation.
+        self.model_flops = analytical.model_flops_per_iteration(
+            config
+        ) * analytical.workload_flops_fraction(config)
         per_gpu_flops = self.model_flops / parallelism.num_gpus
         seconds_per_flop = (
             analytical.communication_multiplier(config) / self.gpu.achievable_flops
@@ -511,25 +546,61 @@ class TimelineSimulator:
         #: Forward / backward seconds of one (micro-batch, chunk) unit.  The
         #: classical 1:2 forward:backward split, plus one extra forward in
         #: the backward under recomputation -- summed over all units this
-        #: reproduces the analytical compute_multiplier exactly.
-        self.forward_unit_seconds = unit_flops / 3.0 * seconds_per_flop
-        self.backward_unit_seconds = unit_flops * 2.0 / 3.0 * seconds_per_flop
-        if config.recompute:
-            self.backward_unit_seconds += unit_flops / 3.0 * seconds_per_flop
+        #: reproduces the analytical compute_multiplier exactly.  Forward-only
+        #: workloads spend the whole (already workload-scaled) unit in the
+        #: forward and never schedule a backward.
+        if config.is_training:
+            self.forward_unit_seconds = unit_flops / 3.0 * seconds_per_flop
+            self.backward_unit_seconds = unit_flops * 2.0 / 3.0 * seconds_per_flop
+            if config.recompute:
+                self.backward_unit_seconds += unit_flops / 3.0 * seconds_per_flop
+        else:
+            self.forward_unit_seconds = unit_flops * seconds_per_flop
+            self.backward_unit_seconds = 0.0
 
-        #: Allocator driver-call cost injected into every forward/backward
-        #: phase unit: the replay-measured per-iteration overhead split evenly
-        #: over the ``2 * m * chunks`` phase units one rank executes.  Summed
-        #: back over a bubble-free schedule this reproduces the old additive
-        #: ``iteration + overhead`` exactly (adding 0.0 is a bit-exact no-op,
-        #: so an overhead-free simulation stays byte-identical).
-        self.unit_overhead_seconds = allocator_overhead_seconds / (
-            2.0 * self.num_microbatches * self.chunks
-        )
+        #: Allocator driver-call cost injected into every compute phase unit:
+        #: the replay-measured per-iteration overhead split evenly over the
+        #: phase units one rank executes -- ``2 * m * chunks``
+        #: forward/backward units for training, ``(1 + decode_steps) * m *
+        #: chunks`` forward/decode units for the forward-only workloads.
+        #: Summed back over a bubble-free schedule this reproduces the old
+        #: additive ``iteration + overhead`` exactly (adding 0.0 is a
+        #: bit-exact no-op, so an overhead-free simulation stays
+        #: byte-identical).
+        if config.is_training:
+            phase_units = 2.0 * self.num_microbatches * self.chunks
+        else:
+            phase_units = (1.0 + config.decode_steps) * self.num_microbatches * self.chunks
+        self.unit_overhead_seconds = allocator_overhead_seconds / phase_units
         self.dense_forward_seconds = self.forward_unit_seconds + self.unit_overhead_seconds
         self.dense_backward_seconds = (
             self.backward_unit_seconds + self.unit_overhead_seconds
         )
+
+        #: Decode-step durations by step ordinal (index ``s - 1`` for step
+        #: ``s``): each step computes one token per sequence -- a
+        #: ``1 / sequence_length`` share of the prefill unit -- and re-reads
+        #: the whole cached context through the attention kernels, priced at
+        #: the device's HBM bandwidth.  The KV sizing mirrors
+        #: ``MemoryModel.kv_bytes_per_token`` (2 * hidden * ACT_BYTES / tp)
+        #: so the timing and memory models grow together.
+        if config.workload_kind == "generation" and config.decode_steps > 0:
+            per_token_compute = self.forward_unit_seconds / config.sequence_length
+            kv_per_token = (
+                2.0 * model.hidden_size * ACT_BYTES
+                / parallelism.tensor_parallel
+                * config.micro_batch_size
+            )
+            hbm_bytes_per_sec = self.gpu.hbm_gbytes_per_sec * 1e9
+            self.decode_unit_durations = tuple(
+                per_token_compute
+                + self.layers * kv_per_token * config.context_tokens_at(step)
+                / hbm_bytes_per_sec
+                + self.unit_overhead_seconds
+                for step in range(1, config.decode_steps + 1)
+            )
+        else:
+            self.decode_unit_durations = ()
 
         # -------------------------------------------------------------- #
         # Fabric: node topology and per-(stage, ep) fast-tier fractions
@@ -675,6 +746,22 @@ class TimelineSimulator:
             if stage == self.pp - 1:
                 return None  # interleaved wrap edge (cut, see class docstring)
             return (stage + 1, "B", spec.microbatch, spec.chunk)
+        if spec.kind is PhaseKind.DECODE:
+            # A decode step flows through the same block chain as a forward;
+            # block 0 additionally waits for the token the *previous* step
+            # (or the prefill, for step 1) sampled on the last block -- the
+            # autoregressive feedback edge.
+            block = spec.chunk * self.pp + stage
+            if block > 0:
+                src_stage = (block - 1) % self.pp
+                src_chunk = (block - 1) // self.pp
+                return (src_stage, "D", spec.microbatch, src_chunk, spec.step)
+            last_block = self.chunks * self.pp - 1
+            last_stage = last_block % self.pp
+            last_chunk = last_block // self.pp
+            if spec.step == 1:
+                return (last_stage, "F", spec.microbatch, last_chunk)
+            return (last_stage, "D", spec.microbatch, last_chunk, spec.step - 1)
         return None
 
     # ------------------------------------------------------------------ #
@@ -706,9 +793,13 @@ class TimelineSimulator:
         Each entry is ``(stage, kind_code, duration_selector, dep_slot,
         end_slot, microbatch, chunk)`` where slots index a flat array holding
         phase end times (-1 when absent) and the duration selector picks
-        0.0 / forward / backward seconds at run time.
+        0.0 / forward / backward seconds at run time (selector ``2 + s``
+        picks the duration of decode step ``s``).
         """
-        key = (self.pp, self.chunks, self.num_microbatches)
+        key = (
+            self.pp, self.chunks, self.num_microbatches,
+            self.config.workload_kind, self.config.decode_steps,
+        )
         plan = _PLAN_CACHE.get(key)
         if plan is None:
             plan = self._build_plan()
@@ -719,7 +810,11 @@ class TimelineSimulator:
 
     def _build_plan(self) -> tuple[list[tuple], int]:
         schedules = {
-            stage: build_schedule(self.config.parallelism, self.num_microbatches, stage)
+            stage: build_schedule(
+                self.config.parallelism, self.num_microbatches, stage,
+                workload_kind=self.config.workload_kind,
+                decode_steps=self.config.decode_steps,
+            )
             for stage in range(self.pp)
         }
         entries: list[tuple] = []
@@ -739,6 +834,19 @@ class TimelineSimulator:
                 if spec.kind is PhaseKind.INIT or spec.kind is PhaseKind.OPTIMIZER:
                     code = K_INIT if spec.kind is PhaseKind.INIT else K_OPTIMIZER
                     entries.append((stage, code, 0, -1, -1, -1, 0))
+                elif spec.kind is PhaseKind.DECODE:
+                    end_key = (stage, "D", spec.microbatch, spec.chunk, spec.step)
+                    end_slot = slot_ids.setdefault(end_key, len(slot_ids))
+                    dep_slot = slot_ids[dependency] if dependency is not None else -1
+                    entries.append((
+                        stage,
+                        K_DECODE,
+                        2 + spec.step,
+                        dep_slot,
+                        end_slot,
+                        spec.microbatch,
+                        spec.chunk,
+                    ))
                 else:
                     forward = spec.kind is PhaseKind.FORWARD
                     end_key = (stage, "F" if forward else "B", spec.microbatch, spec.chunk)
@@ -773,7 +881,10 @@ class TimelineSimulator:
         # to the previous per-event ``total += duration`` accumulation.
         compute_totals = [0.0] * pp
         stall_totals = [0.0] * pp
-        durations = (0.0, self.dense_forward_seconds, self.dense_backward_seconds)
+        durations = (
+            0.0, self.dense_forward_seconds, self.dense_backward_seconds,
+            *self.decode_unit_durations,
+        )
         for stage, code, selector, dep_slot, end_slot, microbatch, chunk in plan:
             clock = clocks[stage]
             buffer = buffers[stage]
@@ -808,7 +919,11 @@ class TimelineSimulator:
     # -- Grouped (MoE) path: per-EP cursors + synchronising collectives - #
     def _run_grouped(self) -> TimelineResult:
         schedules = {
-            stage: build_schedule(self.config.parallelism, self.num_microbatches, stage)
+            stage: build_schedule(
+                self.config.parallelism, self.num_microbatches, stage,
+                workload_kind=self.config.workload_kind,
+                decode_steps=self.config.decode_steps,
+            )
             for stage in range(self.pp)
         }
         eps = range(self.ep)
@@ -890,6 +1005,30 @@ class TimelineSimulator:
             for ep in range(self.ep):
                 coord = (stage, ep)
                 self._emit(events, totals, coord, kind, clocks[coord], 0.0)
+            return
+
+        if spec.kind is PhaseKind.DECODE:
+            # One dense decode event per EP rank: decode steps re-read the
+            # cached context and run dense single-token kernels, with no
+            # routed expert dispatch (MoE routing happened at prefill), so
+            # the EP group neither synchronises nor diverges here.
+            duration = self.decode_unit_durations[spec.step - 1]
+            cursors = {}
+            for ep in range(self.ep):
+                coord = (stage, ep)
+                start = clocks[coord]
+                if dependency is not None:
+                    start = max(start, ends[dependency][ep])
+                if start > clocks[coord]:
+                    self._emit(
+                        events, totals, coord, K_STALL, clocks[coord],
+                        start - clocks[coord], spec,
+                    )
+                self._emit(events, totals, coord, K_DECODE, start, duration, spec)
+                cursors[ep] = start + duration
+            ends[(stage, "D", spec.microbatch, spec.chunk, spec.step)] = dict(cursors)
+            for ep, cursor in cursors.items():
+                clocks[(stage, ep)] = cursor
             return
 
         forward = spec.kind is PhaseKind.FORWARD

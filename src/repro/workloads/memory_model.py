@@ -260,6 +260,60 @@ class MemoryModel:
         return TensorSpec("lm_head_logits", size, TensorCategory.ACTIVATION, True)
 
     # ------------------------------------------------------------------ #
+    # Generation: KV caches and decode-step tensors
+    # ------------------------------------------------------------------ #
+    def kv_bytes_per_token(self) -> float:
+        """Bytes one token of context adds to one layer's KV cache.
+
+        Key and value vectors, tensor-parallel sharded like the attention
+        projections: ``2 * hidden / tp`` activation-dtype elements per token.
+        """
+        return 2 * self.model.hidden_size * ACT_BYTES / self.tp
+
+    def kv_cache_tensor(self, layer: int, context_tokens: int) -> TensorSpec:
+        """One layer's KV cache over ``context_tokens`` of per-sequence context.
+
+        Sized ``kv_bytes_per_token * micro_batch_size * context_tokens``:
+        allocated at prefill (context = prompt length) and re-allocated larger
+        each decode step as the context grows.  Never jittered -- the size is
+        a deterministic function of sequence position, which is what lets the
+        search planner's KV floor stay exact.
+        """
+        size = _round512(
+            self.kv_bytes_per_token() * self.config.micro_batch_size * context_tokens
+        )
+        return TensorSpec(f"layer{layer}.kv_cache", size, TensorCategory.KV_CACHE)
+
+    def decode_transient_tensors(self) -> list[TensorSpec]:
+        """Workspaces of one decode step over one layer (one token/sequence).
+
+        The decode forward processes ``micro_batch_size`` tokens total, so its
+        temporaries are a ``1 / sequence_length`` sliver of the prefill
+        transients -- freed within the step that created them.
+        """
+        b, h, f, t = (
+            self.config.micro_batch_size,
+            self.model.hidden_size,
+            self.model.ffn_hidden_size,
+            self.tp,
+        )
+        return [
+            TensorSpec("decode_attn_tmp", _round512(b * h * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("decode_mlp_tmp", _round512(b * f * ACT_BYTES / t), TensorCategory.TEMPORARY),
+            TensorSpec("decode_residual_tmp", _round512(b * h * ACT_BYTES), TensorCategory.TEMPORARY),
+        ]
+
+    def decode_logits_tensor(self) -> TensorSpec:
+        """Next-token fp32 logits of one decode step on the last stage.
+
+        One vocabulary row per sequence (not per context token), sampled and
+        freed within the step -- unlike training's ``lm_head_logits`` nothing
+        pins it until a backward pass.
+        """
+        size = _round512(self.config.micro_batch_size * self.model.vocab_size * 4 / self.tp)
+        return TensorSpec("decode_logits", size, TensorCategory.TEMPORARY)
+
+    # ------------------------------------------------------------------ #
     # MoE expert tensors (dynamic sizes)
     # ------------------------------------------------------------------ #
     def moe_static_tensors(self) -> list[TensorSpec]:

@@ -66,6 +66,14 @@ class TraceMetadata:
     #: traces serialized before the field existed); lets the persistent cache
     #: detect entries written by an older generator without re-hashing.
     tracegen_version: int = 0
+    #: Workload class the trace models: ``"training"`` (the default, one
+    #: forward+backward+optimizer iteration), ``"inference"`` (forward-only),
+    #: or ``"generation"`` (prefill + autoregressive decode with KV caches).
+    workload_kind: str = "training"
+    #: Decode passes per micro-batch for generation traces (0 otherwise).
+    decode_steps: int = 0
+    #: Cap on generated tokens per sequence for generation traces (0 = no cap).
+    max_new_tokens: int = 0
 
 
 class Trace:
@@ -172,6 +180,17 @@ class Trace:
         every allocator replays the same curve.
         """
         return self.columns.comm_peak_bytes()
+
+    def kv_peak_bytes(self) -> int:
+        """Peak concurrently-live KV-cache bytes.
+
+        Covers every :attr:`TensorCategory.KV_CACHE` tensor -- the per-layer
+        key/value caches a generation workload allocates at prefill and grows
+        per decode step.  Zero for training and inference traces.  Like
+        :meth:`peak_allocated_bytes` it is trace-determined: every allocator
+        replays the same curve.
+        """
+        return self.columns.kv_peak_bytes()
 
     def end_time(self) -> int:
         if self._columns is not None:

@@ -47,7 +47,12 @@ from repro.workloads.training import TrainingConfig
 #: router draws (the gating decision of one (layer, microbatch) execution no
 #: longer depends on the rank's schedule order), and ``moe_comm_factor`` in
 #: the trace metadata.
-TRACEGEN_VERSION = 4
+#: Version 5: inference and generation workloads -- forward-only schedules,
+#: per-layer KV caches allocated at prefill and re-allocated larger per decode
+#: step, decode-step transients, and ``workload_kind``/``decode_steps``/
+#: ``max_new_tokens`` in the trace metadata.  Training event streams are
+#: byte-for-byte unchanged from version 4.
+TRACEGEN_VERSION = 5
 
 #: Fingerprints are pure functions of hashable frozen dataclasses, and they
 #: sit on hot paths (every memoised timeline lookup and sweep-cache probe
@@ -192,7 +197,11 @@ class TraceGenerator:
         """Produce the allocation trace of one full training iteration."""
         self._reset()
         schedule = build_schedule(
-            self.config.parallelism, self.config.num_microbatches, self.rank
+            self.config.parallelism,
+            self.config.num_microbatches,
+            self.rank,
+            workload_kind=self.config.workload_kind,
+            decode_steps=self.config.decode_steps,
         )
         for spec in schedule:
             phase = self._new_phase(spec)
@@ -202,6 +211,8 @@ class TraceGenerator:
                 self._emit_forward(phase, spec)
             elif spec.kind is PhaseKind.BACKWARD:
                 self._emit_backward(phase, spec)
+            elif spec.kind is PhaseKind.DECODE:
+                self._emit_decode(phase, spec)
             elif spec.kind is PhaseKind.OPTIMIZER:
                 self._emit_optimizer(phase)
         metadata = TraceMetadata(
@@ -217,6 +228,9 @@ class TraceGenerator:
             ep_rank=self.ep_rank,
             moe_comm_factor=self.config.moe_comm_factor,
             tracegen_version=TRACEGEN_VERSION,
+            workload_kind=self.config.workload_kind,
+            decode_steps=self.config.decode_steps,
+            max_new_tokens=self.config.max_new_tokens,
         )
         module_spans = {name: (span[0], span[1]) for name, span in self._module_spans.items()}
         return Trace(
@@ -263,6 +277,10 @@ class TraceGenerator:
         self._module_spans: dict[str, list[int]] = {}
         self._deferred: list[tuple[int, _LiveTensor]] = []
         self._phase_step = 0
+        # Live KV caches of generation workloads, keyed (microbatch, chunk,
+        # layer); re-bound on every decode-step re-allocation, popped when the
+        # micro-batch's sequence completes.
+        self._kv: dict[tuple[int, int, int], _LiveTensor] = {}
 
     # ------------------------------------------------------------------ #
     # Deferred (asynchronously skewed) transient frees
@@ -367,10 +385,21 @@ class TraceGenerator:
     # Phase bodies
     # ------------------------------------------------------------------ #
     def _emit_init(self, phase: Phase) -> None:
-        """Persistent tensors: weights, gradients, optimizer states."""
+        """Persistent tensors: weights, gradients, optimizer states.
+
+        Forward-only workloads (inference, generation) materialise weights
+        only: no backward pass means no gradients, and no optimizer step means
+        no optimizer state.
+        """
         scale_layers = self.layers_per_chunk * self.config.parallelism.virtual_pipeline_chunks
         full_layers = self.config.parallelism.layers_per_rank(self.config.model.num_layers)
+        forward_only = self.config.workload_kind != "training"
         for spec in self.memory.persistent_tensors():
+            if forward_only and spec.category in (
+                TensorCategory.GRADIENT,
+                TensorCategory.OPTIMIZER_STATE,
+            ):
+                continue
             # Respect the layer down-scaling knob: drop specs of layers that
             # were scaled away so the persistent footprint shrinks alongside
             # the activation footprint.
@@ -507,10 +536,24 @@ class TraceGenerator:
             )
             scoped.boundary.append(self._alloc(boundary_spec, phase))
 
+        generation_kv = (
+            self.config.workload_kind == "generation" and self.config.decode_steps > 0
+        )
         for layer in range(self.layers_per_chunk):
             self._phase_step = layer
             self._flush_deferred(phase)
             self._forward_layer(phase, spec, layer, scoped)
+            if generation_kv:
+                # Prefill fills the KV cache of the prompt context; the cache
+                # outlives the forward pass (it is what decode steps read),
+                # so it is tracked separately from the scoped activations.
+                kv_spec = self.memory.kv_cache_tensor(
+                    layer, self.config.context_tokens_at(0)
+                )
+                module = f"mb{spec.microbatch}.c{spec.chunk}.layer{layer}"
+                self._kv[(spec.microbatch, spec.chunk, layer)] = self._alloc(
+                    kv_spec, phase, module=module
+                )
         self._flush_deferred(phase, everything=True)
 
         # The last stage projects to the (sharded) vocabulary at the end of
@@ -521,6 +564,65 @@ class TraceGenerator:
             and spec.chunk == self.config.parallelism.virtual_pipeline_chunks - 1
         ):
             scoped.boundary.append(self._alloc(self.memory.logits_activation(), phase))
+
+        # Forward-only workloads retain nothing for a backward pass: the
+        # micro-batch's scoped activations (and boundary tensors, logits
+        # included) die at the end of its forward.  Only the KV caches above
+        # survive into the decode steps.
+        if self.config.workload_kind != "training":
+            for layer in reversed(range(self.layers_per_chunk)):
+                for tensor in reversed(scoped.by_layer.pop(layer, [])):
+                    self._free(tensor, phase, module=tensor.free_module or "")
+            for tensor in reversed(scoped.boundary):
+                self._free(tensor, phase)
+            scoped.boundary.clear()
+
+    def _emit_decode(self, phase: Phase, spec: PhaseSpec) -> None:
+        """One autoregressive decode step of one (micro-batch, chunk).
+
+        Each step processes one new token per sequence over the cached
+        context: per layer, the KV cache is re-allocated at its grown size
+        (allocate-new-then-free-old, the copy-into-larger-buffer realloc
+        pattern, so live KV bytes never dip), followed by the step's short
+        operator workspaces.  Growth stops at the ``max_new_tokens`` cap; the
+        caches are freed only when the micro-batch's final decode step
+        completes -- the sequence-position-dependent lifetime no training
+        phase produces.  Expert routing is prefill-only: decode steps run the
+        dense path even for MoE models.
+        """
+        config = self.config
+        old_context = config.context_tokens_at(spec.step - 1)
+        new_context = config.context_tokens_at(spec.step)
+        for layer in range(self.layers_per_chunk):
+            key = (spec.microbatch, spec.chunk, layer)
+            module = f"mb{spec.microbatch}.c{spec.chunk}.layer{layer}"
+            live = self._kv.get(key)
+            if live is not None and new_context > old_context:
+                grown = self.memory.kv_cache_tensor(layer, new_context)
+                self._kv[key] = self._alloc(grown, phase, module=module)
+                self._free(live, phase, module=module)
+            transients = [
+                self._alloc(workspace, phase)
+                for workspace in self.memory.decode_transient_tensors()
+            ]
+            for tensor in reversed(transients):
+                self._free(tensor, phase)
+
+        # The last stage samples the next token from one vocabulary row per
+        # sequence; the logits die within the step.
+        if (
+            self.memory.is_last_stage
+            and spec.chunk == config.parallelism.virtual_pipeline_chunks - 1
+        ):
+            logits = self._alloc(self.memory.decode_logits_tensor(), phase)
+            self._free(logits, phase)
+
+        # Sequence complete: release the micro-batch's KV caches.
+        if spec.step == config.decode_steps:
+            for layer in reversed(range(self.layers_per_chunk)):
+                tensor = self._kv.pop((spec.microbatch, spec.chunk, layer), None)
+                if tensor is not None:
+                    self._free(tensor, phase)
 
     def _backward_layer(
         self,

@@ -51,6 +51,21 @@ class TrainingConfig:
     #: honest; 0 (the default) serialises communication and compute exactly
     #: like the pre-overlap simulator.  Ignored for dense models.
     comm_overlap_factor: float = 0.0
+    #: Workload class: ``"training"`` (the default, one forward + backward +
+    #: optimizer iteration), ``"inference"`` (forward-only pipeline, no
+    #: gradients or optimizer state), or ``"generation"`` (one prefill pass
+    #: followed by ``decode_steps`` autoregressive decode passes per
+    #: micro-batch, with per-layer KV caches growing every step).
+    workload_kind: str = "training"
+    #: Decode passes per micro-batch for generation workloads.  Each step
+    #: appends one token per sequence to the cached context.  0 with
+    #: ``workload_kind="generation"`` degenerates to prefill-only (the trace
+    #: is event-identical to the inference workload's).
+    decode_steps: int = 0
+    #: Cap on generated tokens per sequence: the KV cache stops growing once
+    #: the context reaches ``sequence_length + max_new_tokens`` (decode steps
+    #: beyond the cap still run, over the capped context).  0 means no cap.
+    max_new_tokens: int = 0
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -72,6 +87,26 @@ class TrainingConfig:
             raise ValueError(
                 f"comm_overlap_factor must be in [0, 1], got {self.comm_overlap_factor}"
             )
+        if self.workload_kind not in ("training", "inference", "generation"):
+            raise ValueError(
+                f"workload_kind must be training, inference or generation, "
+                f"got {self.workload_kind!r}"
+            )
+        if self.decode_steps < 0:
+            raise ValueError(f"decode_steps must be >= 0, got {self.decode_steps}")
+        if self.max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be >= 0, got {self.max_new_tokens}")
+        if self.workload_kind != "generation" and (self.decode_steps or self.max_new_tokens):
+            raise ValueError(
+                "decode_steps/max_new_tokens only apply to workload_kind='generation'"
+            )
+        if self.workload_kind != "training" and (
+            self.recompute or self.offload_activations or self.zero_stage
+        ):
+            raise ValueError(
+                "recompute/offload_activations/zero_stage are training-only "
+                f"options (workload_kind={self.workload_kind!r})"
+            )
 
     @property
     def sequence_length(self) -> int:
@@ -82,9 +117,35 @@ class TrainingConfig:
         return self.micro_batch_size * self.sequence_length
 
     @property
+    def is_training(self) -> bool:
+        return self.workload_kind == "training"
+
+    @property
+    def effective_new_tokens(self) -> int:
+        """Tokens per sequence the KV cache actually grows by over all decode
+        steps: ``decode_steps``, clamped by ``max_new_tokens`` when set."""
+        if self.max_new_tokens:
+            return min(self.decode_steps, self.max_new_tokens)
+        return self.decode_steps
+
+    def context_tokens_at(self, step: int) -> int:
+        """Per-sequence context length (prompt + generated) after decode
+        ``step`` (step 0 is prefill; growth stops at the ``max_new_tokens``
+        cap while later decode steps still run over the capped context)."""
+        grown = min(step, self.max_new_tokens) if self.max_new_tokens else step
+        return self.sequence_length + grown
+
+    @property
     def tokens_per_iteration(self) -> int:
-        """Tokens processed per iteration across the whole data-parallel group."""
-        return self.tokens_per_microbatch * self.num_microbatches * self.parallelism.data_parallel
+        """Tokens processed per iteration across the whole data-parallel group.
+
+        For generation workloads the generated tokens count too: each decode
+        step processes one new token per sequence of every micro-batch.
+        """
+        tokens = self.tokens_per_microbatch * self.num_microbatches
+        if self.workload_kind == "generation":
+            tokens += self.micro_batch_size * self.effective_new_tokens * self.num_microbatches
+        return tokens * self.parallelism.data_parallel
 
     @property
     def uses_distributed_optimizer(self) -> bool:
@@ -124,6 +185,12 @@ class TrainingConfig:
             bits.append(f"comm={self.moe_comm_factor:g}")
         if self.model.is_moe and self.comm_overlap_factor:
             bits.append(f"ovl={self.comm_overlap_factor:g}")
+        if self.workload_kind != "training":
+            bits.append(self.workload_kind)
+            if self.decode_steps:
+                bits.append(f"dec={self.decode_steps}")
+            if self.max_new_tokens:
+                bits.append(f"tok={self.max_new_tokens}")
         if self.label:
             bits.append(f"[{self.label}]")
         return " ".join(bits)

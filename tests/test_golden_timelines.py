@@ -74,6 +74,19 @@ def _case_configs() -> dict[str, dict]:
         "moe-tiny-comm-free": {"config": moe, "seed": 0},
         # Skewed router plus routed-load collective costs: the full model.
         "moe-tiny-comm": {"config": moe.with_(moe_comm_factor=1.0), "seed": 0},
+        # Generation workloads: forward-only prefill plus autoregressive
+        # decode events priced by KV-cache reads.  These pin the decode
+        # dependency chain and the HBM-bound per-step durations.
+        "gpt-tiny-generation": {
+            "config": dense.with_(workload_kind="generation", decode_steps=8),
+            "seed": 0,
+        },
+        "moe-tiny-generation-comm": {
+            "config": moe.with_(
+                moe_comm_factor=1.0, workload_kind="generation", decode_steps=4
+            ),
+            "seed": 0,
+        },
     }
 
 
@@ -85,6 +98,7 @@ def _generate_entry(case: dict) -> dict:
         "num_events": result.num_events,
         "iteration_seconds": result.iteration_seconds,
         "comm_seconds": result.comm_seconds,
+        "decode_seconds": result.decode_seconds,
         "bubble_fraction": result.bubble_fraction,
         "binding_rank": list(result.binding_rank),
     }
@@ -150,6 +164,16 @@ def test_golden_digest(name):
         f"golden timeline {name!r} drifted from its recorded fixture "
         f"({case['config'].describe()}, seed={case['seed']}):\n{diff}\n{REGEN_HINT}"
     )
+
+
+def test_generation_fixtures_actually_pay_for_decode():
+    """Generation fixtures must charge decode time (the autoregressive tail
+    the cases exist to pin) and training fixtures must charge none."""
+    fixtures = _load_fixtures()
+    assert fixtures["gpt-tiny-generation"]["decode_seconds"] > 0.0
+    assert fixtures["moe-tiny-generation-comm"]["decode_seconds"] > 0.0
+    assert fixtures["gpt-tiny"]["decode_seconds"] == 0.0
+    assert fixtures["moe-tiny-comm"]["decode_seconds"] == 0.0
 
 
 def test_comm_fixture_actually_pays_for_communication():

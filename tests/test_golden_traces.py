@@ -71,6 +71,26 @@ def _case_configs() -> dict[str, dict]:
         "moe-tiny-comm": {
             "config": moe.with_(moe_comm_factor=1.0), "seed": 0, "rank": 0, "ep_rank": 1,
         },
+        # Generation workloads: prefill + autoregressive decode with per-step
+        # KV-cache growth.  These pin the dynamic-allocation stream a static
+        # planner has to survive, including the capped-context variant where
+        # the cache stops growing at max_new_tokens.
+        "gpt-tiny-generation": {
+            "config": dense.with_(workload_kind="generation", decode_steps=8),
+            "seed": 0, "rank": 0, "ep_rank": 0,
+        },
+        "gpt-tiny-generation-capped": {
+            "config": dense.with_(
+                workload_kind="generation", decode_steps=8, max_new_tokens=4
+            ),
+            "seed": 0, "rank": 1, "ep_rank": 0,
+        },
+        "moe-tiny-generation-comm": {
+            "config": moe.with_(
+                moe_comm_factor=1.0, workload_kind="generation", decode_steps=4
+            ),
+            "seed": 0, "rank": 0, "ep_rank": 1,
+        },
     }
 
 
@@ -84,6 +104,7 @@ def _generate_entry(case: dict) -> dict:
         "num_events": trace.num_events,
         "peak_allocated_bytes": trace.peak_allocated_bytes(),
         "comm_peak_bytes": trace.comm_peak_bytes(),
+        "kv_peak_bytes": trace.kv_peak_bytes(),
     }
 
 
@@ -148,6 +169,21 @@ def test_golden_digest(name):
         f"({case['config'].describe()}, seed={case['seed']}, "
         f"rank=({case['rank']}, {case['ep_rank']})):\n{diff}\n{REGEN_HINT}"
     )
+
+
+def test_generation_fixtures_hold_kv_cache():
+    """Generation fixtures must record live KV-cache bytes (the dynamic
+    allocation the tests exist to pin), the capped variant must hold less
+    than the uncapped one, and training fixtures must hold none."""
+    fixtures = _load_fixtures()
+    assert fixtures["gpt-tiny-generation"]["kv_peak_bytes"] > 0
+    assert fixtures["moe-tiny-generation-comm"]["kv_peak_bytes"] > 0
+    assert (
+        fixtures["gpt-tiny-generation-capped"]["kv_peak_bytes"]
+        < fixtures["gpt-tiny-generation"]["kv_peak_bytes"]
+    )
+    assert fixtures["gpt-tiny"]["kv_peak_bytes"] == 0
+    assert fixtures["moe-tiny-comm"]["kv_peak_bytes"] == 0
 
 
 def test_comm_free_case_really_is_comm_free():
