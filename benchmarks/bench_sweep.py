@@ -1,13 +1,40 @@
-"""Benchmarks for the sweep engine: cold, cached, and parallel execution.
+"""Benchmarks for the sweep engine: cold, cached, parallel, and obs overhead.
 
 The cold/warm pair quantifies what the persistent trace/plan/result cache
 buys (warm reruns should be orders of magnitude faster); the parallel case
 measures the process fan-out on the same grid.
+
+Run directly, the module measures the observability tax -- the same sweep
+with and without an ``--obs-out`` NDJSON tracer installed -- and records it
+in the ``BENCH_sweep.json`` perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py                # print
+    PYTHONPATH=src python benchmarks/bench_sweep.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        --check benchmarks/BENCH_sweep.json   # fail if overhead > 10%
+
+Tracing must stay near-free: the recorded entries measure the overhead on
+the ``job-smoke`` spec at well under 2%; ``--check`` gates at a deliberately
+loose 10% so shared-runner timing noise cannot flake CI while a regression
+to per-span I/O or allocation on the hot path still fails loudly.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.obs.tracer import shutdown as obs_shutdown
 from repro.sweep import load_spec, run_sweep
+
+#: Regression gate for --check: fail when measured overhead exceeds this.
+CHECK_MAX_OVERHEAD_PCT = 10.0
 
 
 def test_sweep_quick_grid_cold(benchmark, tmp_path):
@@ -42,3 +69,119 @@ def test_sweep_quick_grid_parallel(benchmark, tmp_path):
         iterations=1,
     )
     assert result.num_points >= 24
+
+
+# ---------------------------------------------------------------------- #
+# Observability overhead (the BENCH_sweep.json trajectory)
+# ---------------------------------------------------------------------- #
+def _run_once(spec, obs_path: Path | None = None) -> tuple[float, int]:
+    """One cache-less serial sweep; returns (wall seconds, rows).
+
+    The traced variant times the whole tracer lifecycle -- configure, the
+    sweep, and the final flush+close -- since that is what a user's
+    ``--obs-out`` run pays.
+    """
+    started = time.perf_counter()
+    if obs_path is not None:
+        obs.configure(ndjson_path=obs_path)
+    try:
+        result = run_sweep(spec, jobs=1, cache_dir=None)
+    finally:
+        if obs_path is not None:
+            obs_shutdown()
+    return time.perf_counter() - started, len(result.rows)
+
+
+def measure_obs_overhead(
+    spec_name: str = "job-smoke", *, rounds: int = 15, scratch: Path | None = None
+) -> dict:
+    """Paired wall-time comparison of ``spec_name`` with tracing off vs on.
+
+    Serial and cache-less so the measurement is pure compute (no pool
+    startup or disk-cache variance).  Each round runs an untraced sweep and
+    a traced sweep back to back and records the *paired* difference; the
+    overhead estimate is the median of those differences.  Pairing is what
+    makes sub-100ms walls measurable: machine-load drift moves both runs of
+    a pair together and cancels, where independent medians (or even
+    min-of-N) still swing by several percent between invocations.
+    """
+    spec = load_spec(spec_name)
+    scratch = Path(scratch) if scratch is not None else Path(tempfile.mkdtemp(prefix="bench-obs-"))
+    _run_once(spec)  # warm-up: imports and in-process caches
+    off: list[float] = []
+    deltas: list[float] = []
+    rows = spans = 0
+    for index in range(rounds):
+        # Best-of-2 per arm: scheduler hiccups are one-sided (they only ever
+        # add time), so the min of two back-to-back runs sheds most of the
+        # per-run tail noise before the pair is differenced.
+        elapsed_off, rows = _run_once(spec)
+        elapsed_off = min(elapsed_off, _run_once(spec)[0])
+        off.append(elapsed_off)
+        path = scratch / f"obs-{index}.ndjson"
+        elapsed_on, _ = _run_once(spec, obs_path=path)
+        elapsed_on = min(elapsed_on, _run_once(spec, obs_path=path)[0])
+        deltas.append(elapsed_on - elapsed_off)
+        spans = sum(
+            1 for line in path.read_text().splitlines() if '"type":"span"' in line
+        )
+    base = statistics.median(off)
+    overhead = statistics.median(deltas)
+    return {
+        "spec": spec_name,
+        "rows": rows,
+        "rounds": rounds,
+        "spans_per_run": spans,
+        "wall_seconds_off": round(base, 4),
+        "wall_seconds_on": round(base + overhead, 4),
+        "overhead_seconds": round(overhead, 5),
+        "overhead_pct": round(100.0 * overhead / base, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", default="job-smoke", help="sweep preset to measure")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--json", type=Path, help="write the measurement as JSON")
+    parser.add_argument(
+        "--check",
+        type=Path,
+        help="print the latest BENCH_sweep.json entry next to the measurement; "
+        f"fail if measured overhead exceeds {CHECK_MAX_OVERHEAD_PCT:g}%%",
+    )
+    args = parser.parse_args(argv)
+
+    measured = measure_obs_overhead(args.spec, rounds=args.rounds)
+    print(f"== obs overhead on {measured['spec']} ==")
+    print(
+        f"  off {measured['wall_seconds_off']:.3f}s | on {measured['wall_seconds_on']:.3f}s"
+        f" | overhead {measured['overhead_pct']:+.2f}%"
+        f" ({measured['spans_per_run']} spans/run, median of {measured['rounds']})"
+    )
+
+    if args.json:
+        args.json.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        data = json.loads(args.check.read_text())
+        recorded = data["trajectory"][-1]["results"].get(measured["spec"])
+        if recorded is not None:
+            print(
+                f"check {measured['spec']}: measured {measured['overhead_pct']:+.2f}% vs "
+                f"recorded {recorded['overhead_pct']:+.2f}% "
+                f"(gate {CHECK_MAX_OVERHEAD_PCT:g}%)"
+            )
+        if measured["overhead_pct"] > CHECK_MAX_OVERHEAD_PCT:
+            print(
+                f"obs overhead smoke FAILED: {measured['overhead_pct']:+.2f}% exceeds "
+                f"the {CHECK_MAX_OVERHEAD_PCT:g}% gate"
+            )
+            return 1
+        print("obs overhead smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ Usage::
     stalloc-repro timeline gpt-tiny --workload generation --decode-steps 16
     stalloc-repro sweep gen-smoke --jobs 2                  # prefill/decode KV-cache growth
     stalloc-repro cache prune --max-gib 2
+    stalloc-repro sweep quick-grid --obs-out obs.ndjson     # record spans + metrics
+    stalloc-repro sweep quick-grid --obs-trace obs-trace.json  # open in ui.perfetto.dev
+    stalloc-repro obs summarize obs.ndjson                  # span-tree time breakdown
 """
 
 from __future__ import annotations
@@ -35,6 +38,34 @@ import sys
 from repro.experiments import available_experiments, run_experiment
 from repro.experiments.common import configure_execution
 from repro.version import __version__
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser, *, progress: bool = False) -> None:
+    """The observability flags shared by the run/sweep/search/timeline commands."""
+    parser.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="PATH.ndjson",
+        help=(
+            "record spans and metrics as NDJSON (one JSON event per line; "
+            "inspect with 'stalloc-repro obs summarize')"
+        ),
+    )
+    parser.add_argument(
+        "--obs-trace",
+        default=None,
+        metavar="PATH.json",
+        help=(
+            "record spans as Chrome trace-event JSON "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    if progress:
+        parser.add_argument(
+            "--no-progress",
+            action="store_true",
+            help="silence the stderr progress line (rows done, ETA, cache hit rate)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent trace/plan cache directory (default: no on-disk cache)",
     )
+    _add_obs_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a declarative config x allocator sweep grid"
@@ -160,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="relative change a metric may move before --compare flags it (default: 0)",
     )
+    _add_obs_arguments(sweep_parser, progress=True)
 
     search_parser = subparsers.add_parser(
         "search",
@@ -268,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="relative change a metric may move before --compare flags it (default: 0)",
     )
+    _add_obs_arguments(search_parser, progress=True)
 
     timeline_parser = subparsers.add_parser(
         "timeline",
@@ -395,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(open in chrome://tracing or ui.perfetto.dev)"
         ),
     )
+    _add_obs_arguments(timeline_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="manage the persistent trace/plan/result cache"
@@ -420,6 +455,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="like --max-bytes, in GiB",
     )
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="inspect observability recordings (--obs-out NDJSON files)"
+    )
+    obs_parser.add_argument(
+        "action", choices=["summarize"], help="obs operation to run"
+    )
+    obs_parser.add_argument(
+        "source", metavar="OBS.ndjson", help="NDJSON file written by --obs-out"
+    )
+    obs_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the summary as JSON instead of text",
+    )
     return parser
 
 
@@ -438,7 +489,9 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.obs import ProgressReporter
     from repro.sweep import (
+        SweepPointError,
         SweepResult,
         available_presets,
         compare_files,
@@ -512,13 +565,18 @@ def _cmd_sweep(args) -> int:
     cache_max_bytes = (
         int(args.cache_max_gib * (1 << 30)) if args.cache_max_gib is not None else None
     )
-    result = run_sweep(
-        spec,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        reuse_results=not args.fresh,
-        cache_max_bytes=cache_max_bytes,
-    )
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            reuse_results=not args.fresh,
+            cache_max_bytes=cache_max_bytes,
+            progress=ProgressReporter(0, label="sweep", enabled=not args.no_progress),
+        )
+    except SweepPointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     for output in args.output:
         result.write(output)
         print(f"wrote {output}", file=sys.stderr)
@@ -532,13 +590,14 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_search(args) -> int:
+    from repro.obs import ProgressReporter
     from repro.search import (
         SearchSpec,
         available_search_presets,
         load_search_spec,
         run_search,
     )
-    from repro.sweep import SweepResult, compare_files, compare_results
+    from repro.sweep import SweepPointError, SweepResult, compare_files, compare_results
 
     if args.list_presets:
         for preset in available_search_presets():
@@ -615,13 +674,18 @@ def _cmd_search(args) -> int:
     cache_max_bytes = (
         int(args.cache_max_gib * (1 << 30)) if args.cache_max_gib is not None else None
     )
-    result = run_search(
-        spec,
-        cache_dir=cache_dir,
-        reuse_results=not args.fresh,
-        cache_max_bytes=cache_max_bytes,
-        exhaustive=args.exhaustive,
-    )
+    try:
+        result = run_search(
+            spec,
+            cache_dir=cache_dir,
+            reuse_results=not args.fresh,
+            cache_max_bytes=cache_max_bytes,
+            exhaustive=args.exhaustive,
+            progress=ProgressReporter(0, label="search", enabled=not args.no_progress),
+        )
+    except SweepPointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     for output in args.output:
         result.write(output)
         print(f"wrote {output}", file=sys.stderr)
@@ -717,7 +781,47 @@ def _cmd_cache(args) -> int:
         f"{report['lru_removed']} LRU-evicted entries ({report['lru_bytes']} bytes); "
         f"{report['remaining_files']} entries / {report['remaining_bytes']} bytes kept"
     )
+    stats = cache.cache_stats()
+    print(
+        "cache stats: "
+        f"{stats['evicted_entries']} evicted entries ({stats['evicted_bytes']} bytes), "
+        f"{stats['hits']} hits / {stats['misses']} misses "
+        f"({100 * stats['hit_rate']:.0f}% hit rate this process)"
+    )
     return 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import summarize_file
+
+    try:
+        summary = summarize_file(args.source)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.to_text())
+    return 0
+
+
+def _run_with_obs(handler, args) -> int:
+    """Dispatch one command with --obs-out/--obs-trace recording installed.
+
+    The tracer is installed before the handler and shut down (flushing
+    metric totals and closing sinks) afterwards -- also on error, so a
+    failing sweep still leaves a parseable NDJSON file for post-mortems.
+    """
+    from repro import obs
+
+    obs.configure(ndjson_path=args.obs_out, chrome_path=args.obs_trace)
+    try:
+        return handler(args)
+    finally:
+        obs.shutdown()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -730,19 +834,22 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        return _cmd_run(args)
+        return _run_with_obs(_cmd_run, args)
 
     if args.command == "sweep":
-        return _cmd_sweep(args)
+        return _run_with_obs(_cmd_sweep, args)
 
     if args.command == "search":
-        return _cmd_search(args)
+        return _run_with_obs(_cmd_search, args)
 
     if args.command == "timeline":
-        return _cmd_timeline(args)
+        return _run_with_obs(_cmd_timeline, args)
 
     if args.command == "cache":
         return _cmd_cache(args)
+
+    if args.command == "obs":
+        return _cmd_obs(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -1,0 +1,120 @@
+"""repro.obs -- structured tracing, metrics, and progress telemetry.
+
+Zero-dependency observability for the sweep / search / cache / timeline
+orchestration layers.  Disabled by default: every instrumentation helper
+(:func:`span`, :func:`counter`, ...) collapses to a near-free no-op until a
+:class:`Tracer` is installed, so hot paths carry the hooks permanently.
+
+Typical CLI wiring::
+
+    tracer = configure(ndjson_path="obs.ndjson", chrome_path="trace.json")
+    try:
+        ...  # run sweep / search / timeline
+    finally:
+        shutdown()   # flush metrics, close sinks
+
+and later ``stalloc-repro obs summarize obs.ndjson``.
+
+Import layering: instrumented modules deep in the dependency graph (trace
+generation, replay, the caches) import :mod:`repro.obs.tracer` directly, and
+this package eagerly exposes only the dependency-free core (tracer, metrics,
+progress).  The sinks and the summarizer -- whose Chrome-trace support pulls
+in :mod:`repro.timeline` -- load lazily on first attribute access, so
+``import repro.obs`` never re-enters the packages it instruments.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+
+from repro.obs.metrics import HistogramStat, MetricsRegistry
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracer import (
+    OBS_FORMAT_VERSION,
+    Span,
+    Tracer,
+    absorb,
+    counter,
+    current_tracer,
+    gauge,
+    install,
+    is_enabled,
+    observe,
+    shutdown,
+    span,
+    worker_observation,
+    worker_spec,
+)
+
+#: Lazily resolved exports (attribute -> defining module); see module docs.
+_LAZY_EXPORTS = {
+    "BufferSink": "repro.obs.sinks",
+    "ChromeTraceSink": "repro.obs.sinks",
+    "NDJSONSink": "repro.obs.sinks",
+    "meta_event": "repro.obs.sinks",
+    "validate_event": "repro.obs.sinks",
+    "ObsSummary": "repro.obs.summarize",
+    "PathStat": "repro.obs.summarize",
+    "load_events": "repro.obs.summarize",
+    "summarize_events": "repro.obs.summarize",
+    "summarize_file": "repro.obs.summarize",
+}
+
+__all__ = [
+    "OBS_FORMAT_VERSION",
+    "HistogramStat",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Span",
+    "Tracer",
+    "absorb",
+    "configure",
+    "counter",
+    "current_tracer",
+    "gauge",
+    "install",
+    "is_enabled",
+    "observe",
+    "shutdown",
+    "span",
+    "worker_observation",
+    "worker_spec",
+    *sorted(_LAZY_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ only fires on misses
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+def configure(*, ndjson_path=None, chrome_path=None) -> Tracer | None:
+    """Build and install a tracer for the requested outputs.
+
+    Returns the installed tracer, or ``None`` (and installs nothing) when
+    neither path is given -- so CLI call sites can pass their ``--obs-out`` /
+    ``--obs-trace`` values straight through.  Callers must pair this with
+    :func:`shutdown` to flush sinks.
+    """
+    from repro.obs.sinks import ChromeTraceSink, NDJSONSink
+
+    sinks = []
+    if ndjson_path:
+        sinks.append(NDJSONSink(ndjson_path, pid=os.getpid(), started=time.time()))
+    if chrome_path:
+        sinks.append(ChromeTraceSink(chrome_path))
+    if not sinks:
+        return None
+    tracer = Tracer(sinks=sinks)
+    install(tracer)
+    return tracer

@@ -1,0 +1,111 @@
+"""Line-mode progress reporting for long-running sweeps and searches.
+
+A :class:`ProgressReporter` renders one continuously rewritten stderr status
+line -- rows done / total, percentage, ETA, plus whatever extra fields the
+caller supplies (cache hit rate, prune counts).  On a TTY the line rewrites
+in place (``\\r``); on a plain pipe (CI logs) it degrades to occasional full
+lines so logs stay readable instead of megabytes of carriage returns.
+
+The reporter is deliberately independent of the span tracer: progress is
+useful on an interactive sweep even when no ``--obs-out`` sink is recording,
+and the CLI's ``--no-progress`` silences it without touching tracing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds != seconds or seconds == float("inf"):  # NaN / unknown
+        return "--:--"
+    seconds = max(0, int(seconds))
+    minutes, secs = divmod(seconds, 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Incremental ``done/total`` status line with ETA and extra fields."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "sweep",
+        stream=None,
+        enabled: bool = True,
+        min_interval_seconds: float = 0.1,
+        clock=time.monotonic,
+    ):
+        self.total = max(0, int(total))
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        # A zero total silences rendering until the caller sets the real one
+        # (the CLI builds the reporter before the sweep grid is expanded).
+        self.enabled = enabled
+        self.clock = clock
+        self.done = 0
+        self.info: dict[str, str] = {}
+        self._started = clock()
+        self._last_render = float("-inf")
+        self._last_line_len = 0
+        # TTYs get in-place rewrites as often as min_interval allows; pipes
+        # get a full line only on meaningful jumps (>= 10% or >= 5s apart).
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._min_interval = min_interval_seconds if self._tty else 5.0
+        self._last_pct = -100.0
+
+    def update(self, advance: int = 1, **info) -> None:
+        """Advance the done-count and re-render if enough time has passed.
+
+        ``info`` values are short pre-formatted strings appended to the line
+        (e.g. ``cache="83% hit"``, ``pruned="mem 4 / bound 12"``); they
+        persist until overwritten, so callers only pass what changed.
+        """
+        self.done += advance
+        self.info.update({key: str(value) for key, value in info.items()})
+        if not self.enabled or self.total <= 0:
+            return
+        now = self.clock()
+        pct = 100.0 * self.done / self.total
+        if (
+            now - self._last_render < self._min_interval
+            and self.done < self.total
+            and (self._tty or pct - self._last_pct < 10.0)
+        ):
+            return
+        self._render(now, final=False)
+
+    def finish(self, summary: str = "") -> None:
+        """Render the final state and terminate the status line."""
+        if not self.enabled or self.total <= 0:
+            return
+        if summary:
+            self.info["done"] = summary
+        self._render(self.clock(), final=True)
+
+    def _render(self, now: float, *, final: bool) -> None:
+        elapsed = now - self._started
+        pct = 100.0 * self.done / self.total
+        bits = [f"{self.label}: {self.done}/{self.total} rows ({pct:.0f}%)"]
+        if 0 < self.done < self.total:
+            bits.append(f"ETA {_format_eta(elapsed / self.done * (self.total - self.done))}")
+        if final:
+            bits.append(f"{elapsed:.1f}s")
+        bits.extend(f"{key} {value}" for key, value in self.info.items())
+        line = " | ".join(bits)
+        if self._tty:
+            padding = " " * max(0, self._last_line_len - len(line))
+            self.stream.write("\r" + line + padding)
+            if final:
+                self.stream.write("\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+        self._last_render = now
+        self._last_line_len = len(line)
+        self._last_pct = pct

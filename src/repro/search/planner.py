@@ -37,6 +37,8 @@ from pathlib import Path
 
 from repro.gpu.device import GIB
 from repro.gpu.specs import get_gpu
+from repro.obs.tracer import counter as _obs_counter
+from repro.obs.tracer import span as _obs_span
 from repro.search.bounds import memory_lower_bound, throughput_upper_bound
 from repro.search.space import SearchSpec
 from repro.simulator.runner import (
@@ -257,8 +259,14 @@ def search_points(
     reuse_results: bool = True,
     cache_max_bytes: int | None = None,
     exhaustive: bool = False,
+    progress=None,
 ) -> SearchResult:
-    """Run the planner over an explicit candidate list (see module docstring)."""
+    """Run the planner over an explicit candidate list (see module docstring).
+
+    ``progress`` optionally supplies a
+    :class:`~repro.obs.progress.ProgressReporter`; its total is set to the
+    candidate count and advanced as candidates are pruned or evaluated.
+    """
     started = time.perf_counter()
     cache_dir = str(cache_dir) if cache_dir is not None else None
     cache = (
@@ -270,101 +278,125 @@ def search_points(
         cache_dir=cache_dir,
         exhaustive=exhaustive,
     )
+    if progress is not None:
+        progress.total = len(points)
 
-    # Group points by priced configuration: every allocator/knob cell of one
-    # (config, device, budgets, ranks, timing, fabric) shares a memory verdict
-    # and a throughput bound, and the timeline memoisation means evaluating
-    # them together reuses one simulation.
-    groups: dict[tuple, list[SweepPoint]] = {}
-    for point in points:
-        key = (
-            config_fingerprint(point.config, seed=point.seed, scale=point.scale),
-            point.device_name,
-            point.device_capacity_gib,
-            point.device_memory_by_rank,
-            point.ranks,
-            point.timing,
-            point.fabric,
-        )
-        groups.setdefault(key, []).append(point)
-
-    survivors: list[tuple[float, int, list[SweepPoint]]] = []
-    for group in groups.values():
-        head = group[0]
-        if not exhaustive:
-            verdict = _memory_verdict(head)
-            if verdict is not None:
-                result.pruned_by_memory += len(group)
-                result.pruned.extend(
-                    _prune_record(point, "memory_bound", **verdict) for point in group
-                )
-                continue
-        # Bound against the fabric the candidate is actually timed on: the
-        # tiered pricing must stay admissible (the floor charges the fastest
-        # tier), and the extra collective floor only applies to the backend
-        # that emits explicit collectives.
-        try:
-            gpu = get_gpu(head.device_name)
-            if head.fabric:
-                gpu = dataclass_replace(gpu, **dict(head.fabric))
-        except (ValueError, TypeError):
-            bound = float("inf")  # unusable bound fails open, never prunes
-        else:
-            bound = throughput_upper_bound(
-                head.config, gpu, timing=head.timing, scale=head.scale
+    def _progress_tick(advance: int) -> None:
+        if progress is not None:
+            progress.update(
+                advance,
+                pruned=f"mem {result.pruned_by_memory} / bound {result.pruned_by_bound}",
             )
-        survivors.append((bound, head.index, group))
 
-    if exhaustive:
-        # Oracle mode: evaluate in enumeration order, no bound pruning.
-        survivors.sort(key=lambda item: item[1])
-    else:
-        # Best bound first, then enumeration order for determinism.
-        survivors.sort(key=lambda item: (-item[0], item[1]))
+    with _obs_span(
+        "search.run", spec=name, candidates=len(points), exhaustive=exhaustive
+    ) as obs_run:
+        # Group points by priced configuration: every allocator/knob cell of
+        # one (config, device, budgets, ranks, timing, fabric) shares a memory
+        # verdict and a throughput bound, and the timeline memoisation means
+        # evaluating them together reuses one simulation.
+        groups: dict[tuple, list[SweepPoint]] = {}
+        for point in points:
+            key = (
+                config_fingerprint(point.config, seed=point.seed, scale=point.scale),
+                point.device_name,
+                point.device_capacity_gib,
+                point.device_memory_by_rank,
+                point.ranks,
+                point.timing,
+                point.fabric,
+            )
+            groups.setdefault(key, []).append(point)
 
-    rows: list[dict] = []
-    best_tps = float("-inf")
-    for position, (bound, _, group) in enumerate(survivors):
-        # Prune only when the bound is *meaningfully* below the incumbent: a
-        # candidate whose bound ties the best measured throughput (to within
-        # float noise -- the timeline and the closed-form floor compute the
-        # same product in different association orders) can still tie on
-        # tokens/s and win the lower-memory tie-break, so it must be priced.
-        if not exhaustive and bound < best_tps * (1.0 - 1e-9):
-            # No candidate from here on can beat the incumbent: bounds are
-            # sorted descending, so every remaining group is dominated too.
-            for _, _, dominated in survivors[position:]:
-                result.pruned_by_bound += len(dominated)
-                result.pruned.extend(
-                    _prune_record(
-                        point,
-                        "throughput_bound",
-                        throughput_bound=bound,
-                        incumbent_tokens_per_second=best_tps,
+        survivors: list[tuple[float, int, list[SweepPoint]]] = []
+        for group in groups.values():
+            head = group[0]
+            if not exhaustive:
+                verdict = _memory_verdict(head)
+                if verdict is not None:
+                    result.pruned_by_memory += len(group)
+                    _obs_counter("search.pruned_memory", len(group))
+                    result.pruned.extend(
+                        _prune_record(point, "memory_bound", **verdict) for point in group
                     )
-                    for point in dominated
+                    _progress_tick(len(group))
+                    continue
+            # Bound against the fabric the candidate is actually timed on: the
+            # tiered pricing must stay admissible (the floor charges the
+            # fastest tier), and the extra collective floor only applies to
+            # the backend that emits explicit collectives.
+            try:
+                gpu = get_gpu(head.device_name)
+                if head.fabric:
+                    gpu = dataclass_replace(gpu, **dict(head.fabric))
+            except (ValueError, TypeError):
+                bound = float("inf")  # unusable bound fails open, never prunes
+            else:
+                bound = throughput_upper_bound(
+                    head.config, gpu, timing=head.timing, scale=head.scale
                 )
-            break
-        for point in group:
-            row = execute_point(
-                point,
-                cache_dir,
-                reuse_results=reuse_results,
-                cache=cache,
-                cache_max_bytes=cache_max_bytes,
-            )
-            rows.append(row)
-            result.evaluated += 1
-            if row.get("status") == "ok":
-                best_tps = max(best_tps, row.get("tokens_per_second", 0.0))
+            survivors.append((bound, head.index, group))
 
-    result.rows = _rank_rows(rows)
-    if cache is not None:
-        cache.enforce_cap()
-        result.cache_stats = cache.stats.as_dict()
-        result.cache_stats["cached_rows"] = sum(
-            1 for row in rows if row.get("cached")
-        )
+        if exhaustive:
+            # Oracle mode: evaluate in enumeration order, no bound pruning.
+            survivors.sort(key=lambda item: item[1])
+        else:
+            # Best bound first, then enumeration order for determinism.
+            survivors.sort(key=lambda item: (-item[0], item[1]))
+
+        rows: list[dict] = []
+        best_tps = float("-inf")
+        for position, (bound, _, group) in enumerate(survivors):
+            # Prune only when the bound is *meaningfully* below the incumbent:
+            # a candidate whose bound ties the best measured throughput (to
+            # within float noise -- the timeline and the closed-form floor
+            # compute the same product in different association orders) can
+            # still tie on tokens/s and win the lower-memory tie-break, so it
+            # must be priced.
+            if not exhaustive and bound < best_tps * (1.0 - 1e-9):
+                # No candidate from here on can beat the incumbent: bounds are
+                # sorted descending, so every remaining group is dominated too.
+                dominated_total = 0
+                for _, _, dominated in survivors[position:]:
+                    result.pruned_by_bound += len(dominated)
+                    dominated_total += len(dominated)
+                    result.pruned.extend(
+                        _prune_record(
+                            point,
+                            "throughput_bound",
+                            throughput_bound=bound,
+                            incumbent_tokens_per_second=best_tps,
+                        )
+                        for point in dominated
+                    )
+                _obs_counter("search.pruned_bound", dominated_total)
+                _progress_tick(dominated_total)
+                break
+            for point in group:
+                row = execute_point(
+                    point,
+                    cache_dir,
+                    reuse_results=reuse_results,
+                    cache=cache,
+                    cache_max_bytes=cache_max_bytes,
+                )
+                rows.append(row)
+                result.evaluated += 1
+                _obs_counter("search.evaluated")
+                _progress_tick(1)
+                if row.get("status") == "ok":
+                    best_tps = max(best_tps, row.get("tokens_per_second", 0.0))
+
+        result.rows = _rank_rows(rows)
+        if cache is not None:
+            cache.enforce_cap()
+            result.cache_stats = cache.stats.as_dict()
+            result.cache_stats["cached_rows"] = sum(
+                1 for row in rows if row.get("cached")
+            )
+        obs_run.set(evaluated=result.evaluated)
+    if progress is not None:
+        progress.finish()
     result.elapsed_seconds = time.perf_counter() - started
     return result
 
@@ -376,6 +408,7 @@ def run_search(
     reuse_results: bool = True,
     cache_max_bytes: int | None = None,
     exhaustive: bool = False,
+    progress=None,
 ) -> SearchResult:
     """Enumerate ``spec``'s candidate grid and run the planner over it."""
     return search_points(
@@ -385,4 +418,5 @@ def run_search(
         reuse_results=reuse_results,
         cache_max_bytes=cache_max_bytes,
         exhaustive=exhaustive,
+        progress=progress,
     )

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.allocators.base import AllocationHints, Allocator
 from repro.gpu.errors import OutOfMemoryError
+from repro.obs.tracer import is_enabled as _obs_enabled
+from repro.obs.tracer import observe as _obs_observe
+from repro.obs.tracer import span as _obs_span
 from repro.simulator.metrics import MemoryMetrics
 from repro.workloads.trace import Trace
 
@@ -78,6 +82,19 @@ def replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool = True
     fall back to it whenever the outcome could differ (OOM, pathological
     pairing, per-event hints), so results are identical either way.
     """
+    if not _obs_enabled():
+        return _replay_trace(trace, allocator, stop_on_oom=stop_on_oom)
+    started = time.perf_counter()
+    with _obs_span("replay.trace", allocator=allocator.name) as obs_replay:
+        result = _replay_trace(trace, allocator, stop_on_oom=stop_on_oom)
+        obs_replay.set(events=result.events_replayed, success=result.success)
+    elapsed = time.perf_counter() - started
+    if elapsed > 0:
+        _obs_observe("replay.events_per_sec", result.events_replayed / elapsed)
+    return result
+
+
+def _replay_trace(trace: Trace, allocator: Allocator, *, stop_on_oom: bool) -> ReplayResult:
     batched = allocator.batch_replay(trace, stop_on_oom=stop_on_oom)
     if batched is not None:
         return ReplayResult(

@@ -35,6 +35,7 @@ from repro.allocators.registry import available_allocators, create_allocator
 from repro.core.stalloc import STAlloc, STAllocConfig
 from repro.gpu.device import Device, GIB
 from repro.gpu.errors import OutOfMemoryError
+from repro.obs.tracer import span as _obs_span
 from repro.simulator.metrics import MemoryMetrics
 from repro.simulator.replay import ReplayResult, replay_trace
 from repro.simulator.throughput import GPU_SPECS, ThroughputEstimate, ThroughputModel
@@ -362,13 +363,14 @@ def _build_allocator(
     (trace, pipeline-config) pair, in which case the plan is loaded.
     """
     if name in (STALLOC, STALLOC_NO_REUSE):
-        stalloc_config = _stalloc_config(name, stalloc_overrides)
-        cache = _resolve_cache(cache)
-        if cache is not None:
-            stalloc = cache.get_stalloc(trace, stalloc_config)
-        else:
-            stalloc = STAlloc.from_trace(trace, stalloc_config)
-        return stalloc.build_runtime_allocator(device), stalloc.planning_report()
+        with _obs_span("plan.synthesize", allocator=name):
+            stalloc_config = _stalloc_config(name, stalloc_overrides)
+            cache = _resolve_cache(cache)
+            if cache is not None:
+                stalloc = cache.get_stalloc(trace, stalloc_config)
+            else:
+                stalloc = STAlloc.from_trace(trace, stalloc_config)
+            return stalloc.build_runtime_allocator(device), stalloc.planning_report()
     return create_allocator(name, device), {}
 
 
@@ -409,29 +411,55 @@ def run_workload(
     device_capacity_gib = validate_capacity_gib(device_capacity_gib)
     if not isinstance(rank, int):
         rank, ep_rank = normalize_rank(rank)
-    if trace is None:
-        trace = generate_trace(
-            config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank, cache=cache
+    with _obs_span("workload.run", allocator=allocator_name, rank=rank, ep=ep_rank):
+        if trace is None:
+            trace = generate_trace(
+                config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank, cache=cache
+            )
+        gpu = GPU_SPECS.get(device_name)
+        capacity_gib = _default_capacity_gib(device_name, device_capacity_gib)
+        device = Device(
+            name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0
         )
-    gpu = GPU_SPECS.get(device_name)
-    capacity_gib = _default_capacity_gib(device_name, device_capacity_gib)
-    device = Device(name=device_name, capacity=int(capacity_gib * GIB), reserved_overhead=0)
-    try:
-        allocator, planning_report = _build_allocator(
-            allocator_name, device, trace, stalloc_overrides, cache=cache
-        )
-    except OutOfMemoryError as oom:
-        # STAlloc's static-pool reservation can itself exceed a small device
-        # budget.  A real job dies at startup the same way it dies mid-step,
-        # so this is an OOM *result* (failed before any event replayed,
-        # ``oom_at_event=-1``), not an orchestration error to propagate.
-        replay = ReplayResult(
-            allocator_name=allocator_name,
-            metrics=MemoryMetrics(peak_allocated_bytes=0, peak_reserved_bytes=0),
-            success=False,
-            oom_at_event=-1,
-            oom_request_bytes=oom.requested,
-        )
+        try:
+            allocator, planning_report = _build_allocator(
+                allocator_name, device, trace, stalloc_overrides, cache=cache
+            )
+        except OutOfMemoryError as oom:
+            # STAlloc's static-pool reservation can itself exceed a small
+            # device budget.  A real job dies at startup the same way it dies
+            # mid-step, so this is an OOM *result* (failed before any event
+            # replayed, ``oom_at_event=-1``), not an orchestration error to
+            # propagate.
+            replay = ReplayResult(
+                allocator_name=allocator_name,
+                metrics=MemoryMetrics(peak_allocated_bytes=0, peak_reserved_bytes=0),
+                success=False,
+                oom_at_event=-1,
+                oom_request_bytes=oom.requested,
+            )
+            return WorkloadRun(
+                config=config,
+                allocator_name=allocator_name,
+                replay=replay,
+                device_name=device_name,
+                rank=rank,
+                ep_rank=ep_rank,
+                planning_report={},
+                comm_peak_bytes=trace.comm_peak_bytes(),
+                kv_peak_bytes=trace.kv_peak_bytes(),
+            )
+        replay = replay_trace(trace, allocator)
+        throughput = None
+        if with_throughput and gpu is not None:
+            throughput, _ = _estimate_throughput(
+                config,
+                gpu,
+                timing,
+                allocator_overhead_seconds=replay.overhead_seconds,
+                seed=seed,
+                scale=scale,
+            )
         return WorkloadRun(
             config=config,
             allocator_name=allocator_name,
@@ -439,33 +467,11 @@ def run_workload(
             device_name=device_name,
             rank=rank,
             ep_rank=ep_rank,
-            planning_report={},
+            throughput=throughput,
+            planning_report=planning_report,
             comm_peak_bytes=trace.comm_peak_bytes(),
             kv_peak_bytes=trace.kv_peak_bytes(),
         )
-    replay = replay_trace(trace, allocator)
-    throughput = None
-    if with_throughput and gpu is not None:
-        throughput, _ = _estimate_throughput(
-            config,
-            gpu,
-            timing,
-            allocator_overhead_seconds=replay.overhead_seconds,
-            seed=seed,
-            scale=scale,
-        )
-    return WorkloadRun(
-        config=config,
-        allocator_name=allocator_name,
-        replay=replay,
-        device_name=device_name,
-        rank=rank,
-        ep_rank=ep_rank,
-        throughput=throughput,
-        planning_report=planning_report,
-        comm_peak_bytes=trace.comm_peak_bytes(),
-        kv_peak_bytes=trace.kv_peak_bytes(),
-    )
 
 
 def _suite_worker(payload: tuple) -> tuple[str, WorkloadRun]:
@@ -1009,97 +1015,102 @@ def run_job(
     jobs = _DEFAULT_JOBS if jobs is None else int(jobs)
     validate_timing(timing)
     device_capacity_gib = validate_capacity_gib(device_capacity_gib)
-    capacity_map = _normalize_capacity_map(device_memory_by_rank, config)
-    classes = resolve_job_ranks(config, ranks)
-    if any("." in label for label in capacity_map):
-        # A budget addresses an individual (pp, ep) coordinate; even when the
-        # traces are EP-symmetric the coordinates are distinct devices, so
-        # the classes must expose them for the per-budget split below.
-        classes = _expand_classes_to_coordinates(
-            classes, config.parallelism.expert_parallel
+    with _obs_span("job.run", allocator=allocator_name, timing=timing):
+        capacity_map = _normalize_capacity_map(device_memory_by_rank, config)
+        classes = resolve_job_ranks(config, ranks)
+        if any("." in label for label in capacity_map):
+            # A budget addresses an individual (pp, ep) coordinate; even when
+            # the traces are EP-symmetric the coordinates are distinct
+            # devices, so the classes must expose them for the per-budget
+            # split below.
+            classes = _expand_classes_to_coordinates(
+                classes, config.parallelism.expert_parallel
+            )
+        classes_with_capacity = _split_classes_by_capacity(
+            classes, capacity_map, device_capacity_gib
         )
-    classes_with_capacity = _split_classes_by_capacity(
-        classes, capacity_map, device_capacity_gib
-    )
-    rank_classes = [cls for cls, _ in classes_with_capacity]
-    representatives = [cls[0] for cls in rank_classes]
-    capacities = [capacity for _, capacity in classes_with_capacity]
-    base_kwargs = dict(
-        device_name=device_name,
-        seed=seed,
-        scale=scale,
-        # Per-rank throughput estimates would all be recomputed (and
-        # discarded) below; only replay.overhead_seconds is needed from the
-        # per-rank runs, so the model is evaluated once at the job level.
-        with_throughput=False,
-        stalloc_overrides=stalloc_overrides,
-    )
-    traces = traces or {}
-    runs: dict = {}
-    if jobs > 1 and len(representatives) > 1 and cache is None:
-        payloads = [
-            (
-                config,
-                allocator_name,
-                rank,
-                dict(base_kwargs, device_capacity_gib=capacity),
-                persistent_cache_dir(),
-                traces.get(rank),
-            )
-            for rank, capacity in zip(representatives, capacities)
+        rank_classes = [cls for cls, _ in classes_with_capacity]
+        representatives = [cls[0] for cls in rank_classes]
+        capacities = [capacity for _, capacity in classes_with_capacity]
+        base_kwargs = dict(
+            device_name=device_name,
+            seed=seed,
+            scale=scale,
+            # Per-rank throughput estimates would all be recomputed (and
+            # discarded) below; only replay.overhead_seconds is needed from
+            # the per-rank runs, so the model is evaluated once at the job
+            # level.
+            with_throughput=False,
+            stalloc_overrides=stalloc_overrides,
+        )
+        traces = traces or {}
+        runs: dict = {}
+        if jobs > 1 and len(representatives) > 1 and cache is None:
+            payloads = [
+                (
+                    config,
+                    allocator_name,
+                    rank,
+                    dict(base_kwargs, device_capacity_gib=capacity),
+                    persistent_cache_dir(),
+                    traces.get(rank),
+                )
+                for rank, capacity in zip(representatives, capacities)
+            ]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(representatives))) as pool:
+                runs.update(dict(pool.map(_job_rank_worker, payloads)))
+        else:
+            for rank, capacity in zip(representatives, capacities):
+                runs[rank] = run_workload(
+                    config,
+                    allocator_name,
+                    rank=rank,
+                    device_capacity_gib=capacity,
+                    trace=traces.get(rank),
+                    cache=cache,
+                    **base_kwargs,
+                )
+        class_runs = [runs[rank] for rank in representatives]
+        # Record the concrete budget every class ran against (the device
+        # default when no explicit budget applied), so binding-by-utilization
+        # is well-defined whenever any heterogeneity is present.
+        default_capacity = _default_capacity_gib(device_name, device_capacity_gib)
+        resolved_capacities = [
+            capacity if capacity is not None else default_capacity
+            for capacity in capacities
         ]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(representatives))) as pool:
-            runs.update(dict(pool.map(_job_rank_worker, payloads)))
-    else:
-        for rank, capacity in zip(representatives, capacities):
-            runs[rank] = run_workload(
-                config,
-                allocator_name,
-                rank=rank,
-                device_capacity_gib=capacity,
-                trace=traces.get(rank),
-                cache=cache,
-                **base_kwargs,
-            )
-    class_runs = [runs[rank] for rank in representatives]
-    # Record the concrete budget every class ran against (the device default
-    # when no explicit budget applied), so binding-by-utilization is
-    # well-defined whenever any heterogeneity is present.
-    default_capacity = _default_capacity_gib(device_name, device_capacity_gib)
-    resolved_capacities = [
-        capacity if capacity is not None else default_capacity for capacity in capacities
-    ]
-    throughput = None
-    timeline = None
-    if with_throughput:
-        gpu = GPU_SPECS.get(device_name)
-        if gpu is not None and fabric:
-            try:
-                gpu = dataclass_replace(gpu, **dict(fabric))
-            except TypeError as error:
-                raise ValueError(f"unknown fabric field: {error}") from None
-        if gpu is not None:
-            # The pipeline advances at the pace of its slowest rank, so the
-            # job-level estimate charges the worst per-rank allocator overhead.
-            overhead = max(run.replay.overhead_seconds for run in class_runs)
-            throughput, timeline = _estimate_throughput(
-                config,
-                gpu,
-                timing,
-                allocator_overhead_seconds=overhead,
-                seed=seed,
-                scale=scale,
-            )
-    return JobRun(
-        config=config,
-        allocator_name=allocator_name,
-        device_name=device_name,
-        rank_classes=rank_classes,
-        class_runs=class_runs,
-        throughput=throughput,
-        class_capacities=resolved_capacities,
-        timeline=timeline,
-    )
+        throughput = None
+        timeline = None
+        if with_throughput:
+            gpu = GPU_SPECS.get(device_name)
+            if gpu is not None and fabric:
+                try:
+                    gpu = dataclass_replace(gpu, **dict(fabric))
+                except TypeError as error:
+                    raise ValueError(f"unknown fabric field: {error}") from None
+            if gpu is not None:
+                # The pipeline advances at the pace of its slowest rank, so
+                # the job-level estimate charges the worst per-rank allocator
+                # overhead.
+                overhead = max(run.replay.overhead_seconds for run in class_runs)
+                throughput, timeline = _estimate_throughput(
+                    config,
+                    gpu,
+                    timing,
+                    allocator_overhead_seconds=overhead,
+                    seed=seed,
+                    scale=scale,
+                )
+        return JobRun(
+            config=config,
+            allocator_name=allocator_name,
+            device_name=device_name,
+            rank_classes=rank_classes,
+            class_runs=class_runs,
+            throughput=throughput,
+            class_capacities=resolved_capacities,
+            timeline=timeline,
+        )
 
 
 def default_allocator_lineup(*, include_stalloc: bool = True) -> list[str]:

@@ -15,7 +15,7 @@ reports job-level aggregates (binding rank, max/mean peak, throughput).
 
 from repro.sweep.cache import RESULT_FORMAT_VERSION, CacheStats, SweepCache
 from repro.sweep.compare import CompareReport, compare_files, compare_results
-from repro.sweep.engine import execute_point, run_sweep
+from repro.sweep.engine import SweepPointError, execute_point, run_sweep
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import (
     SWEEP_PRESETS,
@@ -31,6 +31,7 @@ __all__ = [
     "RESULT_FORMAT_VERSION",
     "SweepCache",
     "SweepPoint",
+    "SweepPointError",
     "SweepSpec",
     "SweepResult",
     "SWEEP_PRESETS",

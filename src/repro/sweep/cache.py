@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.core.stalloc import PLAN_FORMAT_VERSION, STAlloc, STAllocConfig
+from repro.obs.tracer import counter as _obs_counter
 from repro.timeline import TIMELINE_VERSION
 from repro.version import __version__
 from repro.workloads.trace import Trace
@@ -72,9 +73,25 @@ class CacheStats:
     plan_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+    @property
+    def hits(self) -> int:
+        return self.trace_hits + self.plan_hits + self.result_hits
+
+    @property
+    def misses(self) -> int:
+        return self.trace_misses + self.plan_misses + self.result_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk, across all three layers."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -180,10 +197,12 @@ class SweepCache:
             try:
                 trace = Trace.load(path)
                 self.stats.trace_hits += 1
+                _obs_counter("cache.hit")
                 return trace
             except (ValueError, KeyError, TypeError, json.JSONDecodeError):
                 path.unlink(missing_ok=True)  # corrupt entry: fall through to regenerate
         self.stats.trace_misses += 1
+        _obs_counter("cache.miss")
         trace = TraceGenerator(
             config, seed=seed, scale=scale, rank=rank, ep_rank=ep_rank
         ).generate()
@@ -224,10 +243,12 @@ class SweepCache:
             try:
                 stalloc = STAlloc.from_json_dict(json.loads(path.read_text(encoding="utf-8")))
                 self.stats.plan_hits += 1
+                _obs_counter("cache.hit")
                 return stalloc
             except (ValueError, KeyError, TypeError, json.JSONDecodeError):
                 path.unlink(missing_ok=True)
         self.stats.plan_misses += 1
+        _obs_counter("cache.miss")
         stalloc = STAlloc.from_trace(trace, stalloc_config)
         text = json.dumps(stalloc.to_json_dict())
         _atomic_write_text(path, text)
@@ -266,15 +287,18 @@ class SweepCache:
         path = self.result_path(key)
         if not path.exists():
             self.stats.result_misses += 1
+            _obs_counter("cache.miss")
             return None
         try:
             row = json.loads(path.read_text(encoding="utf-8"))
         except (ValueError, json.JSONDecodeError):
             path.unlink(missing_ok=True)
             self.stats.result_misses += 1
+            _obs_counter("cache.miss")
             return None
         row.pop(_RESULT_VERSION_KEY, None)
         self.stats.result_hits += 1
+        _obs_counter("cache.hit")
         return row
 
     def store_result(self, key: str, row: dict) -> None:
@@ -283,6 +307,19 @@ class SweepCache:
         text = json.dumps(stored)
         _atomic_write_text(self.result_path(key), text)
         self._note_store(len(text))
+
+    def cache_stats(self) -> dict:
+        """This instance's lookup and eviction statistics, as a flat dict.
+
+        Extends :attr:`stats` (per-layer hit/miss counters, eviction totals)
+        with the derived overall ``hits`` / ``misses`` / ``hit_rate``, which
+        is what the CLI prints and what sweeps report back per worker.
+        """
+        report = self.stats.as_dict()
+        report["hits"] = self.stats.hits
+        report["misses"] = self.stats.misses
+        report["hit_rate"] = self.stats.hit_rate
+        return report
 
     # ------------------------------------------------------------------ #
     # Eviction
@@ -384,6 +421,10 @@ class SweepCache:
                 remaining -= size
                 lru_removed += 1
                 lru_bytes += size
+        self.stats.evicted_entries += stale_removed + lru_removed
+        self.stats.evicted_bytes += stale_bytes + lru_bytes
+        if stale_bytes + lru_bytes:
+            _obs_counter("cache.evicted_bytes", stale_bytes + lru_bytes)
         return {
             "stale_removed": stale_removed,
             "stale_bytes": stale_bytes,

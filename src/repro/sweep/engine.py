@@ -22,12 +22,40 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.obs.tracer import absorb as _obs_absorb
+from repro.obs.tracer import counter as _obs_counter
+from repro.obs.tracer import span as _obs_span
+from repro.obs.tracer import worker_observation, worker_spec
 from repro.simulator.runner import NO_CACHE, generate_trace, resolve_job_ranks, run_job
 from repro.sweep.cache import SweepCache
 from repro.sweep.results import SweepResult
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.workloads.parallelism import normalize_rank, rank_label
 from repro.workloads.tracegen import config_fingerprint
+
+
+class SweepPointError(RuntimeError):
+    """One sweep point failed; names the point instead of a bare traceback.
+
+    Raised in place of whatever the job runner threw, so a failure surfacing
+    from a worker process identifies *which* point died (row label + trace
+    fingerprint) -- the original exception stays attached as ``__cause__`` on
+    the serial path and is summarized in the message either way.
+    """
+
+    def __init__(self, label: str, fingerprint: str, cause: str):
+        super().__init__(
+            f"sweep point {label!r} (trace {fingerprint[:12]}) failed: {cause}"
+        )
+        self.label = label
+        self.fingerprint = fingerprint
+        self.cause = cause
+
+    def __reduce__(self):
+        # Exceptions cross the ProcessPoolExecutor boundary by pickling;
+        # the default reduce replays ``cls(*args)`` with the formatted
+        # message only, which does not match this constructor.
+        return (SweepPointError, (self.label, self.fingerprint, self.cause))
 
 
 def _int_ranks_label(ranks) -> str:
@@ -167,60 +195,72 @@ def execute_point(
     :meth:`SweepCache.prune`); ignored when ``cache`` is supplied.
     """
     started = time.perf_counter()
-    if cache is None and cache_dir is not None:
-        cache = SweepCache(cache_dir, max_bytes=cache_max_bytes)
-    result_key = None
-    if cache is not None:
-        result_key = point_result_key(cache, point)
-        if reuse_results:
-            row = cache.load_result(result_key)
-            if row is not None:
-                return _as_cached_row(row, point, time.perf_counter() - started)
+    fingerprint = config_fingerprint(point.config, seed=point.seed, scale=point.scale)
+    with _obs_span("sweep.point", point=point.index, label=point.row_label) as obs_point:
+        if cache is None and cache_dir is not None:
+            cache = SweepCache(cache_dir, max_bytes=cache_max_bytes)
+        result_key = None
+        if cache is not None:
+            result_key = cache.result_key(fingerprint, point.cache_payload())
+            if reuse_results:
+                row = cache.load_result(result_key)
+                if row is not None:
+                    obs_point.set(cached=True)
+                    _obs_counter("sweep.rows_done")
+                    return _as_cached_row(row, point, time.perf_counter() - started)
 
-    # Run the whole job with the cache threaded explicitly so per-rank traces
-    # and synthesized STAlloc plans persist (and their hit/miss counters land
-    # on the stats we report) without touching any process-global state.  A
-    # sweep without a cache dir must really not cache -- NO_CACHE keeps a
-    # globally installed persistent cache from sneaking back in.  jobs=1: the
-    # sweep already parallelises across points, so ranks stay in-process.
-    point_cache = cache if cache is not None else NO_CACHE
-    job = run_job(
-        point.config,
-        point.allocator,
-        ranks=point.ranks,
-        device_name=point.device_name,
-        device_capacity_gib=point.device_capacity_gib,
-        device_memory_by_rank=dict(point.device_memory_by_rank),
-        seed=point.seed,
-        scale=point.scale,
-        with_throughput=True,
-        timing=point.timing,
-        stalloc_overrides=dict(point.stalloc_overrides),
-        cache=point_cache,
-        jobs=1,
-        traces=traces,
-        fabric=dict(point.fabric),
-    )
-    row = _point_row(point, job, time.perf_counter() - started)
-    if cache is not None and result_key is not None:
-        cache.store_result(result_key, row)
-    return row
+        # Run the whole job with the cache threaded explicitly so per-rank
+        # traces and synthesized STAlloc plans persist (and their hit/miss
+        # counters land on the stats we report) without touching any
+        # process-global state.  A sweep without a cache dir must really not
+        # cache -- NO_CACHE keeps a globally installed persistent cache from
+        # sneaking back in.  jobs=1: the sweep already parallelises across
+        # points, so ranks stay in-process.
+        point_cache = cache if cache is not None else NO_CACHE
+        try:
+            job = run_job(
+                point.config,
+                point.allocator,
+                ranks=point.ranks,
+                device_name=point.device_name,
+                device_capacity_gib=point.device_capacity_gib,
+                device_memory_by_rank=dict(point.device_memory_by_rank),
+                seed=point.seed,
+                scale=point.scale,
+                with_throughput=True,
+                timing=point.timing,
+                stalloc_overrides=dict(point.stalloc_overrides),
+                cache=point_cache,
+                jobs=1,
+                traces=traces,
+                fabric=dict(point.fabric),
+            )
+        except Exception as error:
+            raise SweepPointError(
+                point.row_label, fingerprint, f"{type(error).__name__}: {error}"
+            ) from error
+        row = _point_row(point, job, time.perf_counter() - started)
+        if cache is not None and result_key is not None:
+            cache.store_result(result_key, row)
+        _obs_counter("sweep.rows_done")
+        return row
 
 
-def _execute_point_job(payload: tuple) -> tuple[dict, dict]:
-    """ProcessPoolExecutor.map adapter: returns (row, worker cache stats)."""
-    point, cache_dir, reuse_results, traces, cache_max_bytes = payload
+def _execute_point_job(payload: tuple) -> tuple[dict, dict, dict | None]:
+    """ProcessPoolExecutor.map adapter: (row, worker cache stats, obs delta)."""
+    point, cache_dir, reuse_results, traces, cache_max_bytes, obs_spec = payload
     cache = (
         SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None
     )
-    row = execute_point(
-        point,
-        cache_dir,
-        reuse_results=reuse_results,
-        cache=cache,
-        traces=traces,
-    )
-    return row, cache.stats.as_dict() if cache is not None else {}
+    with worker_observation(obs_spec) as observation:
+        row = execute_point(
+            point,
+            cache_dir,
+            reuse_results=reuse_results,
+            cache=cache,
+            traces=traces,
+        )
+    return row, cache.stats.as_dict() if cache is not None else {}, observation.delta
 
 
 def _prewarm_shared_traces(
@@ -272,6 +312,18 @@ def _prewarm_shared_traces(
     }
 
 
+def _hit_rate_label(stats: dict) -> str:
+    """Render an aggregated cache-stats dict as e.g. ``"83% hit"``."""
+    hits = stats.get("trace_hits", 0) + stats.get("plan_hits", 0) + stats.get("result_hits", 0)
+    misses = (
+        stats.get("trace_misses", 0)
+        + stats.get("plan_misses", 0)
+        + stats.get("result_misses", 0)
+    )
+    lookups = hits + misses
+    return f"{100 * hits / lookups:.0f}% hit" if lookups else "no lookups"
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -279,6 +331,7 @@ def run_sweep(
     cache_dir: str | None = None,
     reuse_results: bool = True,
     cache_max_bytes: int | None = None,
+    progress=None,
 ) -> SweepResult:
     """Execute every point of ``spec`` and return the collected result rows.
 
@@ -286,71 +339,106 @@ def run_sweep(
     store that pushes the cache past the cap LRU-evicts down to it inline
     (see :meth:`SweepCache.prune`), so a long sweep cannot grow the cache
     without bound between explicit ``cache prune`` invocations.
+
+    ``progress`` optionally supplies a
+    :class:`~repro.obs.progress.ProgressReporter`; the sweep sets its total
+    to the expanded point count and advances it once per finished row.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     cache_dir = str(cache_dir) if cache_dir is not None else None
     started = time.perf_counter()
-    points = spec.expand()
+    with _obs_span("sweep.run", spec=spec.name, jobs=jobs) as obs_run:
+        points = spec.expand()
+        obs_run.set(points=len(points))
+        if progress is not None:
+            progress.total = len(points)
 
-    rows: dict[int, dict] = {}
-    pending: list[SweepPoint] = []
-    cache = (
-        SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None
-    )
-    if cache is not None and reuse_results:
-        # Serve warm rows from the parent so a fully-cached sweep involves no
-        # worker processes at all (this is what makes reruns O(seconds)).
-        for point in points:
-            lookup_started = time.perf_counter()
-            row = cache.load_result(point_result_key(cache, point))
-            if row is not None:
-                rows[point.index] = _as_cached_row(
-                    row, point, time.perf_counter() - lookup_started
-                )
-            else:
-                pending.append(point)
-    else:
-        pending = list(points)
-
-    worker_stats: list[dict] = []
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            shipped = _prewarm_shared_traces(pending, cache)
-            payloads = [
-                (point, cache_dir, False, shipped.get(point.index), cache_max_bytes)
-                for point in pending
-            ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                for point, (row, stats) in zip(pending, pool.map(_execute_point_job, payloads)):
-                    rows[point.index] = row
-                    worker_stats.append(stats)
+        rows: dict[int, dict] = {}
+        pending: list[SweepPoint] = []
+        cache = (
+            SweepCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None
+        )
+        if cache is not None and reuse_results:
+            # Serve warm rows from the parent so a fully-cached sweep involves
+            # no worker processes at all (this makes reruns O(seconds)).
+            for point in points:
+                lookup_started = time.perf_counter()
+                row = cache.load_result(point_result_key(cache, point))
+                if row is not None:
+                    rows[point.index] = _as_cached_row(
+                        row, point, time.perf_counter() - lookup_started
+                    )
+                    _obs_counter("sweep.rows_done")
+                    if progress is not None:
+                        progress.update(cache=_hit_rate_label(cache.stats.as_dict()))
+                else:
+                    pending.append(point)
         else:
-            for point in pending:
-                rows[point.index] = execute_point(
-                    point,
-                    cache_dir,
-                    reuse_results=False,
-                    cache=cache,
-                )
+            pending = list(points)
 
-    if cache is not None:
-        # Workers enforce the cap after their own stores, but a store in one
-        # worker can land after another worker's final eviction pass; one
-        # parent-side sweep after the pool drains guarantees the sweep ends
-        # at or below the cap.
-        cache.enforce_cap()
+        worker_stats: list[dict] = []
+        running_stats = cache.stats.as_dict() if cache is not None else {}
+        if pending:
+            if jobs > 1 and len(pending) > 1:
+                shipped = _prewarm_shared_traces(pending, cache)
+                obs_spec = worker_spec()
+                payloads = [
+                    (point, cache_dir, False, shipped.get(point.index), cache_max_bytes, obs_spec)
+                    for point in pending
+                ]
+                with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                    for point, (row, stats, delta) in zip(
+                        pending, pool.map(_execute_point_job, payloads)
+                    ):
+                        rows[point.index] = row
+                        worker_stats.append(stats)
+                        _obs_absorb(delta)
+                        if progress is not None:
+                            for key, value in stats.items():
+                                running_stats[key] = running_stats.get(key, 0) + value
+                            info = (
+                                {"cache": _hit_rate_label(running_stats)}
+                                if cache is not None
+                                else {}
+                            )
+                            progress.update(**info)
+            else:
+                for point in pending:
+                    rows[point.index] = execute_point(
+                        point,
+                        cache_dir,
+                        reuse_results=False,
+                        cache=cache,
+                    )
+                    if progress is not None:
+                        info = (
+                            {"cache": _hit_rate_label(cache.stats.as_dict())}
+                            if cache is not None
+                            else {}
+                        )
+                        progress.update(**info)
 
-    cache_stats = cache.stats.as_dict() if cache is not None else {}
-    for stats in worker_stats:
-        for counter, value in stats.items():
-            cache_stats[counter] = cache_stats.get(counter, 0) + value
-    cache_stats["cached_rows"] = sum(1 for row in rows.values() if row.get("cached"))
-    return SweepResult(
-        spec_name=spec.name,
-        rows=[rows[index] for index in sorted(rows)],
-        elapsed_seconds=time.perf_counter() - started,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        cache_stats=cache_stats,
-    )
+        if cache is not None:
+            # Workers enforce the cap after their own stores, but a store in
+            # one worker can land after another worker's final eviction pass;
+            # one parent-side sweep after the pool drains guarantees the sweep
+            # ends at or below the cap.
+            cache.enforce_cap()
+
+        cache_stats = cache.stats.as_dict() if cache is not None else {}
+        for stats in worker_stats:
+            for key, value in stats.items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+        cache_stats["cached_rows"] = sum(1 for row in rows.values() if row.get("cached"))
+        elapsed = time.perf_counter() - started
+        if progress is not None:
+            progress.finish()
+        return SweepResult(
+            spec_name=spec.name,
+            rows=[rows[index] for index in sorted(rows)],
+            elapsed_seconds=elapsed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_stats=cache_stats,
+        )

@@ -1,0 +1,72 @@
+"""Shared Chrome trace-event JSON building blocks.
+
+Both the timeline exporter (:mod:`repro.timeline.export`, simulated rank
+timelines) and the observability Chrome sink (:mod:`repro.obs.sinks`, real
+wall-time spans of the toolchain itself) emit the same trace-event dialect so
+either file opens in ``chrome://tracing`` / https://ui.perfetto.dev.  This
+module holds the conventions they share: microsecond timestamps, complete
+("X") slices for durations, instant ("i") events for zero-duration markers,
+process/thread-name metadata ("M") events, and the ``traceEvents`` +
+``displayTimeUnit`` + ``otherData`` container shape.
+
+Kept dependency-free (no simulator imports) so the observability layer can
+use it without pulling the timeline machinery into every instrumented module.
+"""
+
+from __future__ import annotations
+
+#: Simulated/observed seconds -> trace-event microseconds.
+SECONDS_TO_US = 1e6
+
+
+def process_name_event(name: str, *, pid: int = 0) -> dict:
+    """Metadata event naming one Perfetto process row."""
+    return {"ph": "M", "name": "process_name", "pid": pid, "tid": 0, "args": {"name": name}}
+
+
+def thread_name_event(name: str, *, pid: int = 0, tid: int = 0) -> dict:
+    """Metadata event naming one Perfetto thread (track) row."""
+    return {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid, "args": {"name": name}}
+
+
+def slice_event(
+    name: str,
+    category: str,
+    start_us: float,
+    duration_us: float,
+    *,
+    pid: int = 0,
+    tid: int = 0,
+    args: dict | None = None,
+) -> dict:
+    """One duration slice: a complete ("X") event, or an instant ("i") event
+    when the duration is zero so the marker stays visible at any zoom level."""
+    event = {
+        "name": name,
+        "cat": category,
+        "pid": pid,
+        "tid": tid,
+        "ts": start_us,
+        "args": args or {},
+    }
+    if duration_us > 0:
+        event["ph"] = "X"
+        event["dur"] = duration_us
+    else:
+        event["ph"] = "i"
+        event["s"] = "t"  # instant event scoped to its thread
+    return event
+
+
+def trace_container(events: list[dict], **other_data) -> dict:
+    """The top-level document Perfetto expects, with repo-wide defaults."""
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(other_data),
+    }
+
+
+def count_trace_events(payload: dict) -> int:
+    """Number of non-metadata events in a trace container (slices + instants)."""
+    return sum(1 for event in payload["traceEvents"] if event["ph"] != "M")

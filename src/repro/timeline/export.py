@@ -7,6 +7,9 @@ Times convert from simulated seconds to the format's microseconds.
 
 The exporter walks :meth:`RankTimeline.iter_records` -- the raw record
 stream -- so exporting never materializes :class:`TimelineEvent` objects.
+The event/container conventions live in :mod:`repro.timeline.chrome`, shared
+with the observability Chrome sink (:mod:`repro.obs.sinks`) so both kinds of
+trace open identically.
 """
 
 from __future__ import annotations
@@ -15,6 +18,14 @@ import json
 from typing import IO
 
 from repro.gpu.specs import NodeTopology
+from repro.timeline.chrome import (
+    SECONDS_TO_US,
+    count_trace_events,
+    process_name_event,
+    slice_event,
+    thread_name_event,
+    trace_container,
+)
 from repro.timeline.simulator import TimelineResult
 
 #: Event names priced as all-to-all collectives (tier-annotated on export).
@@ -32,8 +43,6 @@ _CATEGORY = {
     "a2a_combine": "comm",
     "stall": "stall",
 }
-
-_SECONDS_TO_US = 1e6
 
 
 def chrome_trace_dict(result: TimelineResult) -> dict:
@@ -54,55 +63,33 @@ def chrome_trace_dict(result: TimelineResult) -> dict:
         gpus_per_node=result.gpus_per_node,
     )
     events: list[dict] = [
-        {
-            "ph": "M",
-            "name": "process_name",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": f"stalloc-repro timeline: {result.description}"},
-        }
+        process_name_event(f"stalloc-repro timeline: {result.description}")
     ]
     for tid, rank in enumerate(result.ranks):
         stage, ep = (rank.rank + (0,))[:2]
-        events.append(
-            {
-                "ph": "M",
-                "name": "thread_name",
-                "pid": 0,
-                "tid": tid,
-                "args": {"name": f"pp{stage}/ep{ep}"},
-            }
-        )
+        events.append(thread_name_event(f"pp{stage}/ep{ep}", tid=tid))
         spans = topology.ep_group_spans_nodes(stage)
         for kind, start, duration, microbatch, chunk, layer in rank.iter_records():
             args = {"microbatch": microbatch, "chunk": chunk, "layer": layer}
             if kind in _COMM_NAMES:
                 args["tier"] = "mixed" if spans else "intra"
-            event = {
-                "name": kind,
-                "cat": _CATEGORY.get(kind, "other"),
-                "pid": 0,
-                "tid": tid,
-                "ts": start * _SECONDS_TO_US,
-                "args": args,
-            }
-            if duration > 0:
-                event["ph"] = "X"
-                event["dur"] = duration * _SECONDS_TO_US
-            else:
-                event["ph"] = "i"
-                event["s"] = "t"  # instant event scoped to its thread
-            events.append(event)
-    return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {
-            "gpu": result.gpu_name,
-            "gpus_per_node": result.gpus_per_node,
-            "iteration_seconds": result.iteration_seconds,
-            "timeline_version": result.timeline_version,
-        },
-    }
+            events.append(
+                slice_event(
+                    kind,
+                    _CATEGORY.get(kind, "other"),
+                    start * SECONDS_TO_US,
+                    duration * SECONDS_TO_US,
+                    tid=tid,
+                    args=args,
+                )
+            )
+    return trace_container(
+        events,
+        gpu=result.gpu_name,
+        gpus_per_node=result.gpus_per_node,
+        iteration_seconds=result.iteration_seconds,
+        timeline_version=result.timeline_version,
+    )
 
 
 def write_chrome_trace(result: TimelineResult, destination: str | IO[str]) -> int:
@@ -117,4 +104,4 @@ def write_chrome_trace(result: TimelineResult, destination: str | IO[str]) -> in
     else:
         with open(destination, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
-    return sum(1 for event in payload["traceEvents"] if event["ph"] != "M")
+    return count_trace_events(payload)

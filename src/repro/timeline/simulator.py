@@ -68,6 +68,7 @@ import numpy as np
 
 from repro.core.events import PhaseKind
 from repro.gpu.specs import GPUSpec, NodeTopology, get_gpu
+from repro.obs.tracer import span as _obs_span
 from repro.simulator.throughput import ThroughputEstimate, ThroughputModel
 from repro.workloads.memory_model import ACT_BYTES
 from repro.workloads.moe import ExpertRouter
@@ -1210,13 +1211,16 @@ def simulate_timeline(
     cached = _MEMO.get(key)
     if cached is not None:
         return cached
-    result = TimelineSimulator(
-        config,
-        gpu=spec,
-        seed=seed,
-        scale=scale,
-        allocator_overhead_seconds=allocator_overhead_seconds,
-    ).run()
+    # Span only on the memo-miss path: a memo hit is a dict lookup and must
+    # stay one.
+    with _obs_span("timeline.simulate", model=config.model.name):
+        result = TimelineSimulator(
+            config,
+            gpu=spec,
+            seed=seed,
+            scale=scale,
+            allocator_overhead_seconds=allocator_overhead_seconds,
+        ).run()
     _MEMO[key] = result
     while len(_MEMO) > _MEMO_MAX:
         _MEMO.pop(next(iter(_MEMO)))

@@ -27,6 +27,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.core.columns import ALLOC, CATEGORY_CODES, FREE, ColumnBuilder
 from repro.core.events import EventKind, Phase, PhaseKind, TensorCategory, TraceEvent
+from repro.obs.tracer import span as _obs_span
 from repro.workloads.memory_model import MemoryModel, TensorSpec
 from repro.workloads.moe import ExpertRouter
 from repro.workloads.schedule import PhaseSpec, build_schedule
@@ -195,6 +196,15 @@ class TraceGenerator:
     # ------------------------------------------------------------------ #
     def generate(self) -> Trace:
         """Produce the allocation trace of one full training iteration."""
+        with _obs_span(
+            "tracegen.generate",
+            model=self.config.model.name,
+            rank=self.rank,
+            ep=self.ep_rank,
+        ):
+            return self._generate()
+
+    def _generate(self) -> Trace:
         self._reset()
         schedule = build_schedule(
             self.config.parallelism,
